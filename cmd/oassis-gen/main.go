@@ -1,0 +1,102 @@
+// Command oassis-gen emits a complete synthetic workload for one of the
+// paper's application domains (Section 6.3): an ontology file, a crowd file
+// with generated personal databases, the domain's OASSIS-QL query and — for
+// domains with MORE mining — the tip-fact pool.
+//
+// Usage:
+//
+//	oassis-gen -domain travel -members 60 -seed 1 -out ./data
+//
+// The emitted files feed straight into the oassis command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"oassis"
+	"oassis/internal/crowd"
+	"oassis/internal/synth"
+)
+
+func main() {
+	var (
+		domain  = flag.String("domain", "travel", "travel | culinary | selftreatment")
+		members = flag.Int("members", 60, "number of crowd members to generate")
+		seed    = flag.Int64("seed", 1, "random seed")
+		outDir  = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := run(*domain, *members, *seed, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "oassis-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(domain string, members int, seed int64, outDir string) error {
+	var cfg synth.DomainConfig
+	switch domain {
+	case "travel":
+		cfg = synth.Travel(members, seed)
+	case "culinary":
+		cfg = synth.Culinary(members, seed)
+	case "selftreatment", "self-treatment":
+		cfg = synth.SelfTreatment(members, seed)
+	default:
+		return fmt.Errorf("unknown domain %q", domain)
+	}
+	d, err := synth.NewDomain(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(outDir, "ontology.txt"), func(f *os.File) error {
+		return oassis.WriteOntology(f, d.Store)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(outDir, "crowd.txt"), func(f *os.File) error {
+		sims := make([]*crowd.SimMember, len(d.Members))
+		for i, m := range d.Members {
+			sims[i] = m.(*crowd.SimMember)
+		}
+		return crowd.WriteCrowd(f, d.Vocab, sims)
+	}); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "query.oql"),
+		[]byte(d.Query.String()), 0o644); err != nil {
+		return err
+	}
+	if len(d.MorePool) > 0 {
+		if err := writeFile(filepath.Join(outDir, "morepool.txt"), func(f *os.File) error {
+			for _, fact := range d.MorePool {
+				if _, err := fmt.Fprintln(f, oassis.FormatFact(fact, d.Vocab)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("generated %s domain: %d ontology facts, %d members, %d planted patterns → %s\n",
+		d.Name, d.Store.Size(), len(d.Members), len(d.Patterns), outDir)
+	return nil
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

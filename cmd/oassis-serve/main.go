@@ -1,0 +1,85 @@
+// Command oassis-serve runs the crowdsourcing platform: an HTTP service
+// through which real crowd members receive the engine's questions and
+// submit answers (the paper's prototype web UI, as a JSON API).
+//
+//	oassis-serve -ontology onto.txt -query query.oql -addr :8080 -min-members 5
+//
+// Protocol (see internal/server):
+//
+//	POST /join?member=<id>      register
+//	POST /start                 launch the run
+//	GET  /question?member=<id>  poll your next question
+//	POST /answer                {"member","question","support","choice"}
+//	GET  /results               answers discovered so far
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"oassis"
+	"oassis/internal/server"
+)
+
+func main() {
+	var (
+		ontologyPath = flag.String("ontology", "", "ontology file")
+		queryPath    = flag.String("query", "", "OASSIS-QL query file")
+		addr         = flag.String("addr", ":8080", "listen address")
+		minMembers   = flag.Int("min-members", 3, "members required before /start")
+		k            = flag.Int("k", 0, "answers per assignment (default: min(5, members))")
+		timeout      = flag.Duration("answer-timeout", 5*time.Minute, "per-question member timeout")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *ontologyPath == "" || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*ontologyPath, *queryPath, *addr, *minMembers, *k, *timeout, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "oassis-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.Duration, seed int64) error {
+	_, store, err := oassis.LoadOntologyFile(ontologyPath)
+	if err != nil {
+		return err
+	}
+	qb, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	q, err := oassis.ParseQuery(string(qb), store.Vocabulary())
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{MinMembers: minMembers, AnswerTimeout: timeout})
+	opts := []oassis.Option{
+		oassis.WithSeed(seed),
+		oassis.WithParallelism(2 * minMembers),
+	}
+	if k > 0 {
+		opts = append(opts, oassis.WithAggregator(oassis.NewMeanAggregator(k, q.Satisfying.Support)))
+	}
+	var sess *oassis.Session
+	opts = append(opts, oassis.WithOnMSP(func(a *oassis.Assignment) {
+		fs := sess.FactSets([]*oassis.Assignment{a})[0]
+		text := sess.DescribeAnswer(fs)
+		srv.RecordAnswer(text)
+		fmt.Println("answer:", text)
+	}))
+	sess, err = oassis.NewSession(store, q, opts...)
+	if err != nil {
+		return err
+	}
+	srv.Attach(sess)
+	fmt.Printf("oassis-serve: query with %d valid assignments, threshold %.2f\n",
+		sess.ValidAssignments(), sess.Theta())
+	fmt.Printf("oassis-serve: listening on %s (POST /join, then /start)\n", addr)
+	return http.ListenAndServe(addr, srv.Handler())
+}

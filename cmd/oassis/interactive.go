@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"oassis"
+	"oassis/internal/nlgen"
+)
+
+// consoleMember turns the terminal into one crowd member: the engine's
+// questions are rendered in natural language (as in the prototype's
+// crowdsourcing UI, Section 6.2) and answered interactively on the paper's
+// five-point scale.
+type consoleMember struct {
+	id       string
+	renderer *nlgen.Renderer
+	in       *bufio.Reader
+	out      io.Writer
+	asked    int
+}
+
+func newConsoleMember(id string, v *oassis.Vocabulary, in io.Reader, out io.Writer) *consoleMember {
+	return &consoleMember{
+		id:       id,
+		renderer: nlgen.NewRenderer(v),
+		in:       bufio.NewReader(in),
+		out:      out,
+	}
+}
+
+func (m *consoleMember) ID() string { return m.id }
+
+// AskConcrete prints the question and reads an answer: 0-4, a scale label,
+// or "q" to stop answering (treated as never).
+func (m *consoleMember) AskConcrete(fs oassis.FactSet) oassis.Response {
+	m.asked++
+	fmt.Fprintf(m.out, "\nQ%d. %s\n", m.asked, m.renderer.ConcreteQuestion(fs))
+	fmt.Fprintf(m.out, "    [0 never  1 rarely  2 sometimes  3 often  4 very often]\n")
+	return oassis.Response{Support: m.readScale()}
+}
+
+// AskSpecialize prints the open question with numbered suggestions; the
+// member picks one and rates it, or answers 0 for "none of these".
+func (m *consoleMember) AskSpecialize(base oassis.FactSet, candidates []oassis.FactSet) (int, oassis.Response) {
+	m.asked++
+	fmt.Fprintf(m.out, "\nQ%d. %s\n", m.asked, m.renderer.SpecializationQuestion(base))
+	for i, c := range candidates {
+		fmt.Fprintf(m.out, "    %d) %s\n", i+1, m.renderer.ConcreteQuestion(c))
+	}
+	fmt.Fprintf(m.out, "    0) none of these\n")
+	choice := m.readInt(0, len(candidates))
+	if choice == 0 {
+		return -1, oassis.Response{}
+	}
+	fmt.Fprintf(m.out, "    how often? [0 never .. 4 very often]\n")
+	return choice - 1, oassis.Response{Support: m.readScale()}
+}
+
+// readScale reads one answer on the 5-point scale (number or label).
+func (m *consoleMember) readScale() float64 {
+	for {
+		fmt.Fprint(m.out, "    > ")
+		line, err := m.in.ReadString('\n')
+		if err != nil {
+			return 0
+		}
+		ans := strings.ToLower(strings.TrimSpace(line))
+		for i, label := range nlgen.AnswerScaleLabels {
+			if ans == label || ans == strconv.Itoa(i) {
+				return float64(i) * 0.25
+			}
+		}
+		fmt.Fprintln(m.out, "    please answer 0-4 or never/rarely/sometimes/often/very often")
+	}
+}
+
+func (m *consoleMember) readInt(lo, hi int) int {
+	for {
+		fmt.Fprint(m.out, "    > ")
+		line, err := m.in.ReadString('\n')
+		if err != nil {
+			return lo
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(line))
+		if err == nil && n >= lo && n <= hi {
+			return n
+		}
+		fmt.Fprintf(m.out, "    please answer %d-%d\n", lo, hi)
+	}
+}

@@ -1,0 +1,41 @@
+package oassis
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// EvolveOntology implements the Section 8 extension "dynamically extending
+// the ontology based on crowd answers": it rebuilds the ontology with extra
+// lines (in the textual format — new subClassOf/instanceOf facts, labels,
+// @element/@relation declarations) appended to the existing store's
+// serialization, returning a fresh vocabulary and store.
+//
+// Vocabularies are immutable once frozen (the order closures are
+// precomputed), so evolution is a rebuild. The intended workflow keeps the
+// crowd's effort: wrap members in a CrowdCache during the first run, evolve
+// the ontology, rebuild the session and re-run — every question about
+// unchanged terms replays from the cache and only the new region costs
+// fresh questions. Caches are fingerprinted per vocabulary, so pass the old
+// cache through MigrateCache to re-key it for the evolved vocabulary.
+func EvolveOntology(old *Ontology, additions string) (*Vocabulary, *Ontology, error) {
+	var buf bytes.Buffer
+	if err := WriteOntology(&buf, old); err != nil {
+		return nil, nil, fmt.Errorf("oassis: evolve: %w", err)
+	}
+	buf.WriteString("\n")
+	buf.WriteString(additions)
+	buf.WriteString("\n")
+	v, store, err := LoadOntology(&buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oassis: evolve: %w", err)
+	}
+	return v, store, nil
+}
+
+// MigrateCache re-keys a crowd cache collected under oldV so it replays
+// under newV (after EvolveOntology): questions are matched term-by-term by
+// name, and entries mentioning terms the new vocabulary lacks are dropped.
+func MigrateCache(cache *CrowdCache, oldV, newV *Vocabulary) (*CrowdCache, error) {
+	return cache.Rekey(oldV, newV)
+}

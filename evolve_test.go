@@ -1,0 +1,138 @@
+package oassis_test
+
+import (
+	"strings"
+	"testing"
+
+	"oassis"
+	"oassis/internal/paperdata"
+)
+
+// TestEvolveOntologyWithCacheReplay exercises the Section 8 evolution flow:
+// run a query with a cache, grow the ontology with a new activity, migrate
+// the cache, and re-run — the old region replays free, only the new region
+// costs fresh questions, and a pattern over the new term can surface.
+func TestEvolveOntologyWithCacheReplay(t *testing.T) {
+	v, store := fixture(t)
+	q, err := oassis.ParseQuery(paperdata.SimpleQueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := oassis.NewCrowdCache()
+
+	// First run: the Table 3 crowd, wrapped in the cache.
+	members := table3Members(t, v)
+	wrapped := make([]oassis.Member, len(members))
+	for i, m := range members {
+		wrapped[i] = cache.Wrap(m)
+	}
+	session, err := oassis.NewSession(store, q, oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(2, 0.4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := session.Run(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstMisses := cache.Misses
+	if firstMisses == 0 {
+		t.Fatal("first run asked nothing")
+	}
+
+	// The crowd's answers reveal a new activity: grow the ontology.
+	v2, store2, err := oassis.EvolveOntology(store, `
+Rollerblading subClassOf Sport
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Element("Rollerblading") == -1 {
+		t.Fatal("new term missing after evolution")
+	}
+	// Old facts and orders survive.
+	if !v2.LeqE(v2.Element("Sport"), v2.Element("Biking")) {
+		t.Fatal("old order lost")
+	}
+
+	// Migrate the cache and re-run against the evolved ontology. The
+	// crowd must be rebuilt over the new vocabulary (same histories).
+	cache2, err := oassis.MigrateCache(cache, v, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	du1, du2 := rebuildTable3(t, v2)
+	m1 := oassis.NewSimMember("u1", v2, du1, 1)
+	m1.Scale = nil
+	m2 := oassis.NewSimMember("u2", v2, du2, 2)
+	m2.Scale = nil
+	wrapped2 := []oassis.Member{cache2.Wrap(m1), cache2.Wrap(m2)}
+
+	q2, err := oassis.ParseQuery(paperdata.SimpleQueryText, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session2, err := oassis.NewSession(store2, q2, oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(2, 0.4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := session2.Run(wrapped2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second run must be mostly replay: fresh questions only for the
+	// new region (Rollerblading under Sport at each attraction).
+	fresh := cache2.Misses
+	if fresh >= firstMisses/2 {
+		t.Errorf("evolution re-run asked %d fresh questions (first run: %d) — cache migration failed",
+			fresh, firstMisses)
+	}
+	if cache2.Hits == 0 {
+		t.Error("no replayed answers after migration")
+	}
+	// The same MSPs survive (nobody rollerblades in the histories).
+	if len(res2.ValidMSPs) != len(res1.ValidMSPs) {
+		t.Errorf("MSPs changed across evolution: %d vs %d",
+			len(res2.ValidMSPs), len(res1.ValidMSPs))
+	}
+}
+
+// rebuildTable3 rebuilds the Table 3 databases over an evolved vocabulary.
+func rebuildTable3(t *testing.T, v2 *oassis.Vocabulary) (du1, du2 []oassis.FactSet) {
+	t.Helper()
+	return paperdata.Table3(v2)
+}
+
+func TestEvolveOntologyRejectsBadAdditions(t *testing.T) {
+	_, store := fixture(t)
+	if _, _, err := oassis.EvolveOntology(store, "Sport subClassOf Biking"); err == nil {
+		t.Fatal("cycle-introducing evolution accepted")
+	}
+	if _, _, err := oassis.EvolveOntology(store, "a subClassOf"); err == nil {
+		t.Fatal("malformed addition accepted")
+	}
+}
+
+func TestMigrateCacheDropsRemovedTerms(t *testing.T) {
+	v, _ := fixture(t)
+	cache := oassis.NewCrowdCache()
+	du1, _ := paperdata.Table3(v)
+	m := oassis.NewSimMember("u1", v, du1, 1)
+	wrapped := cache.Wrap(m)
+	fs := oassis.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+	wrapped.AskConcrete(fs)
+
+	// A fresh, unrelated vocabulary lacks the terms entirely.
+	v2, _, err := oassis.LoadOntology(strings.NewReader("a subClassOf b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := oassis.MigrateCache(cache, v, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated.Size() != 0 {
+		t.Fatalf("migrated cache kept %d entries for missing terms", migrated.Size())
+	}
+}

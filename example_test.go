@@ -1,0 +1,119 @@
+package oassis_test
+
+import (
+	"fmt"
+	"strings"
+
+	"oassis"
+)
+
+// exampleOntology is a pocket-sized slice of the paper's Figure 1.
+const exampleOntology = `
+Activity subClassOf Thing
+Sport subClassOf Activity
+Biking subClassOf Sport
+Basketball subClassOf Sport
+Park subClassOf Thing
+"Central Park" instanceOf Park
+@relation doAt
+`
+
+const exampleCrowd = `
+member ann
+Biking doAt "Central Park"
+Biking doAt "Central Park"
+Basketball doAt "Central Park"
+member ben
+Biking doAt "Central Park"
+Biking doAt "Central Park"
+`
+
+// Example runs a complete query: parse, evaluate WHERE, mine two simulated
+// crowd members, print the maximal significant patterns.
+func Example() {
+	v, store, err := oassis.LoadOntology(strings.NewReader(exampleOntology))
+	if err != nil {
+		panic(err)
+	}
+	q, err := oassis.ParseQuery(`
+SELECT FACT-SETS
+WHERE
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt "Central Park"
+WITH SUPPORT = 0.6`, v)
+	if err != nil {
+		panic(err)
+	}
+	members, err := oassis.LoadCrowd(strings.NewReader(exampleCrowd), v, 1)
+	if err != nil {
+		panic(err)
+	}
+	session, err := oassis.NewSession(store, q,
+		oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(2, 0.6)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := session.Run(members)
+	if err != nil {
+		panic(err)
+	}
+	for _, fs := range session.FactSets(res.ValidMSPs) {
+		fmt.Println(session.DescribeAnswer(fs))
+	}
+	// Output:
+	// People frequently engage in Biking at Central Park.
+}
+
+// ExampleSession_Describe shows how mined questions and answers render.
+func ExampleSession_Describe() {
+	v, store, err := oassis.LoadOntology(strings.NewReader(exampleOntology))
+	if err != nil {
+		panic(err)
+	}
+	q, err := oassis.ParseQuery(`
+SELECT FACT-SETS
+WHERE $y subClassOf* Activity
+SATISFYING $y doAt "Central Park"
+WITH SUPPORT = 0.5`, v)
+	if err != nil {
+		panic(err)
+	}
+	session, err := oassis.NewSession(store, q)
+	if err != nil {
+		panic(err)
+	}
+	fact, err := oassis.ParseFact(`Biking doAt "Central Park"`, v)
+	if err != nil {
+		panic(err)
+	}
+	fs := oassis.NewFactSet(fact)
+	fmt.Println(session.Describe(fs))
+	fmt.Println(session.DescribeAnswer(fs))
+	// Output:
+	// How often do you engage in Biking at Central Park?
+	// People frequently engage in Biking at Central Park.
+}
+
+// ExampleParseQuery demonstrates parse-and-print round-tripping.
+func ExampleParseQuery() {
+	v, _, err := oassis.LoadOntology(strings.NewReader(exampleOntology))
+	if err != nil {
+		panic(err)
+	}
+	q, err := oassis.ParseQuery(
+		`select fact-sets where $y subClassOf* Sport satisfying $y doAt "Central Park" with support = 0.25`, v)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(q.String())
+	// Output:
+	// SELECT FACT-SETS
+	// WHERE
+	//   $y subClassOf* Sport
+	// SATISFYING
+	//   $y doAt "Central Park"
+	// WITH SUPPORT = 0.25
+}

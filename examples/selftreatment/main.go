@@ -1,0 +1,123 @@
+// Selftreatment reproduces the paper's third application domain
+// (Section 6.3): what do people take to relieve common symptoms —
+// information of interest to health researchers. It demonstrates crowd
+// quality control (Section 4.2): a random-answering spammer joins the
+// crowd, the consistency filter flags them, and a trust-weighted aggregator
+// drops their answers.
+//
+//	go run ./examples/selftreatment
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"oassis"
+)
+
+const ontologyText = `
+Remedy subClassOf Thing
+Symptom subClassOf Thing
+"Home Remedy" subClassOf Remedy
+Medication subClassOf Remedy
+"Herbal Tea" subClassOf "Home Remedy"
+"Chicken Soup" subClassOf "Home Remedy"
+Honey subClassOf "Home Remedy"
+Painkiller subClassOf Medication
+Antihistamine subClassOf Medication
+Ibuprofen subClassOf Painkiller
+Paracetamol subClassOf Painkiller
+Headache subClassOf Symptom
+"Sore Throat" subClassOf Symptom
+Allergy subClassOf Symptom
+Fever subClassOf Symptom
+
+@relation takenFor
+`
+
+const queryText = `
+SELECT FACT-SETS
+WHERE
+  $r subClassOf* Remedy.
+  $s subClassOf* Symptom
+SATISFYING
+  $r takenFor $s
+WITH SUPPORT = 0.3
+`
+
+const crowdText = `
+member patient-1
+Ibuprofen takenFor Headache
+Ibuprofen takenFor Headache . "Herbal Tea" takenFor "Sore Throat"
+Honey takenFor "Sore Throat"
+Paracetamol takenFor Fever
+member patient-2
+Ibuprofen takenFor Headache
+"Herbal Tea" takenFor "Sore Throat"
+"Herbal Tea" takenFor "Sore Throat" . Honey takenFor "Sore Throat"
+Antihistamine takenFor Allergy
+member patient-3
+Ibuprofen takenFor Headache . Paracetamol takenFor Fever
+"Herbal Tea" takenFor "Sore Throat"
+"Chicken Soup" takenFor Fever
+member patient-4
+Ibuprofen takenFor Headache
+Honey takenFor "Sore Throat" . "Herbal Tea" takenFor "Sore Throat"
+Antihistamine takenFor Allergy
+`
+
+// spammer answers uniformly at random — the adversary the Section 4.2
+// consistency filter is built for. It implements oassis.Member directly,
+// showing that crowd sources are pluggable.
+type spammer struct{ rng *rand.Rand }
+
+func (s *spammer) ID() string { return "spam-bot" }
+
+func (s *spammer) AskConcrete(oassis.FactSet) oassis.Response {
+	scale := []float64{0, 0.25, 0.5, 0.75, 1}
+	return oassis.Response{Support: scale[s.rng.Intn(len(scale))]}
+}
+
+func (s *spammer) AskSpecialize(_ oassis.FactSet, candidates []oassis.FactSet) (int, oassis.Response) {
+	if len(candidates) == 0 {
+		return -1, oassis.Response{}
+	}
+	return s.rng.Intn(len(candidates)), oassis.Response{Support: 1}
+}
+
+func main() {
+	v, store, err := oassis.LoadOntology(strings.NewReader(ontologyText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := oassis.ParseQuery(queryText, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	honest, err := oassis.LoadCrowd(strings.NewReader(crowdText), v, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	members := append(honest, &spammer{rng: rand.New(rand.NewSource(99))})
+
+	session, err := oassis.NewSession(store, q,
+		oassis.WithSeed(3),
+		oassis.WithConsistencyFilter(),
+		oassis.WithAggregator(oassis.NewMeanAggregator(4, q.Satisfying.Support)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Run(members)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crowd of %d (including one spam bot), %d questions asked\n\n",
+		len(members), res.Stats.Questions)
+	fmt.Printf("findings (%d MSPs):\n", len(res.ValidMSPs))
+	for _, fs := range session.FactSets(res.ValidMSPs) {
+		fmt.Printf("  • %s\n", session.DescribeAnswer(fs))
+	}
+}

@@ -1,0 +1,3 @@
+module oassis
+
+go 1.22

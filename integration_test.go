@@ -1,0 +1,183 @@
+package oassis_test
+
+import (
+	"strings"
+	"testing"
+
+	"oassis"
+	"oassis/internal/paperdata"
+)
+
+// TestSelectVariablesAnswers runs a VARIABLES query and checks the binding
+// presentation.
+func TestSelectVariablesAnswers(t *testing.T) {
+	v, store := fixture(t)
+	q, err := oassis.ParseQuery(`
+SELECT VARIABLES
+WHERE
+  $x instanceOf Park.
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.4`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := oassis.NewSession(store, q, oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(2, 0.4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.Run(table3Members(t, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := session.Bindings(res.ValidMSPs)
+	if len(bindings) == 0 {
+		t.Fatal("no bindings")
+	}
+	for _, b := range bindings {
+		if len(b["x"]) != 1 || len(b["y"]) != 1 {
+			t.Fatalf("binding shape wrong: %v", b)
+		}
+	}
+	answers := session.Answers(res)
+	if len(answers) != len(bindings) {
+		t.Fatalf("answers = %d, bindings = %d", len(answers), len(bindings))
+	}
+	for _, a := range answers {
+		if !strings.Contains(a, "$x = ") || !strings.Contains(a, "$y = ") {
+			t.Errorf("VARIABLES answer format wrong: %q", a)
+		}
+	}
+}
+
+// TestSelectAllAnswers: ALL returns the full significant set, a superset of
+// the MSPs.
+func TestSelectAllAnswers(t *testing.T) {
+	v, store := fixture(t)
+	q, err := oassis.ParseQuery(strings.Replace(paperdata.SimpleQueryText,
+		"SELECT FACT-SETS", "SELECT FACT-SETS ALL", 1), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := oassis.NewSession(store, q, oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(2, 0.4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.Run(table3Members(t, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := session.Answers(res)
+	if len(answers) <= len(res.ValidMSPs) {
+		t.Fatalf("ALL should include non-maximal significant patterns: %d answers, %d MSPs",
+			len(answers), len(res.ValidMSPs))
+	}
+}
+
+// languageGuideExamples are the worked examples of LANGUAGE.md verbatim;
+// they must parse against a matching vocabulary.
+func TestLanguageGuideExamplesParse(t *testing.T) {
+	v, _ := fixture(t)
+	// Figure 2 example — parses against the paper fixture.
+	if _, err := oassis.ParseQuery(paperdata.QueryText, v); err != nil {
+		t.Fatal(err)
+	}
+	// The culinary example needs its own small vocabulary.
+	vc, _, err := oassis.LoadOntology(strings.NewReader(`
+Dish subClassOf Food
+Drink subClassOf Food
+@relation servedWith
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oassis.ParseQuery(`
+SELECT FACT-SETS
+WHERE
+  $d subClassOf* Dish.
+  $k subClassOf* Drink
+SATISFYING
+  $d+ servedWith $k
+WITH SUPPORT = 0.2 CONFIDENCE = 0.6`, vc); err != nil {
+		t.Fatal(err)
+	}
+	// Top-3 diverse with crowd selection.
+	if _, err := oassis.ParseQuery(`
+SELECT FACT-SETS LIMIT 3 DIVERSE
+FROM CROWD WITH city = "NYC"
+WHERE
+  $x instanceOf Park.
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.25`, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNTriplesImportToMiningPipeline: import an N-Triples ontology, parse a
+// query against it, and mine a crowd — the full real-world-ontology path.
+func TestNTriplesImportToMiningPipeline(t *testing.T) {
+	nt := `
+<http://kb/Park> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://kb/Attraction> .
+<http://kb/Central_Park> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://kb/Park> .
+<http://kb/Prospect_Park> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://kb/Park> .
+<http://kb/Biking> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://kb/Sport> .
+<http://kb/Running> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://kb/Sport> .
+<http://kb/Sport> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://kb/Activity> .
+<http://kb/doAt> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <http://kb/relatedTo> .
+`
+	v, store, stats, err := oassis.LoadNTriples(strings.NewReader(nt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Facts == 0 {
+		t.Fatal("no facts imported")
+	}
+	q, err := oassis.ParseQuery(`
+SELECT FACT-SETS
+WHERE
+  $x instanceOf Park.
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.5`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowdText := `
+member runner
+Running doAt "Central Park"
+Running doAt "Central Park"
+Biking doAt "Prospect Park"
+`
+	members, err := oassis.LoadCrowd(strings.NewReader(crowdText), v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := oassis.NewSession(store, q, oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(1, 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.Run(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range session.Bindings(res.ValidMSPs) {
+		if len(b["y"]) == 1 && b["y"][0] == "Running" &&
+			len(b["x"]) == 1 && b["x"][0] == "Central Park" {
+			found = true
+		}
+	}
+	if !found {
+		for _, a := range session.Answers(res) {
+			t.Logf("answer: %s", a)
+		}
+		t.Error("expected (Running, Central Park) MSP from the imported ontology")
+	}
+}

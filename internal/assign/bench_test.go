@@ -1,0 +1,92 @@
+package assign_test
+
+import (
+	"testing"
+
+	"oassis/internal/assign"
+	"oassis/internal/synth"
+)
+
+func benchDAG(b *testing.B) *synth.DAG {
+	b.Helper()
+	d, err := synth.NewDAG(synth.DAGConfig{
+		Width: 150, Depth: 6, MSPPercent: 0.02, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkLeq measures the hot partial-order comparison.
+func BenchmarkLeq(b *testing.B) {
+	d := benchDAG(b)
+	valid := d.Space.Valid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := valid[i%len(valid)]
+		c := valid[(i*7+3)%len(valid)]
+		_ = d.Space.Leq(a, c)
+	}
+}
+
+// BenchmarkSuccessors measures lazy successor generation.
+func BenchmarkSuccessors(b *testing.B) {
+	d := benchDAG(b)
+	roots := d.Space.Roots()
+	frontier := roots
+	for i := 0; i < 2; i++ {
+		var next []*assign.Assignment
+		for _, a := range frontier {
+			next = append(next, d.Space.Successors(a)...)
+		}
+		frontier = next
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Space.Successors(frontier[i%len(frontier)])
+	}
+}
+
+// BenchmarkClassifierStatus measures border-based classification with a
+// populated classifier.
+func BenchmarkClassifierStatus(b *testing.B) {
+	d := benchDAG(b)
+	cls := assign.NewClassifier(d.Space)
+	for _, p := range d.Planted {
+		cls.MarkSignificant(p)
+		for _, s := range d.Space.Successors(p) {
+			cls.MarkInsignificant(s)
+		}
+	}
+	valid := d.Space.Valid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cls.Status(valid[i%len(valid)])
+	}
+}
+
+// BenchmarkInstantiate measures meta-fact-set instantiation.
+func BenchmarkInstantiate(b *testing.B) {
+	d := benchDAG(b)
+	valid := d.Space.Valid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Space.Instantiate(valid[i%len(valid)])
+	}
+}
+
+// BenchmarkSpaceConstruction measures building the space from bindings.
+func BenchmarkSpaceConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := synth.NewDAG(synth.DAGConfig{
+			Width: 100, Depth: 5, MSPPercent: 0.02, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Space.Valid()) == 0 {
+			b.Fatal("empty space")
+		}
+	}
+}

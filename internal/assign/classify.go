@@ -1,0 +1,166 @@
+package assign
+
+// Status is the classification of an assignment during mining.
+type Status uint8
+
+const (
+	// Unknown means no answer classifies the assignment yet.
+	Unknown Status = iota
+	// Significant means its support meets the threshold (directly or by
+	// the inference of Observation 4.4 from a significant successor).
+	Significant
+	// Insignificant means its support is below the threshold (directly
+	// or inferred from an insignificant predecessor).
+	Insignificant
+)
+
+func (s Status) String() string {
+	switch s {
+	case Significant:
+		return "significant"
+	case Insignificant:
+		return "insignificant"
+	default:
+		return "unknown"
+	}
+}
+
+// Classifier realizes the inference scheme of Algorithm 1's ask(·): marking
+// an assignment significant classifies all its predecessors, marking it
+// insignificant classifies all its successors. Instead of materializing
+// those (possibly lazily generated, unbounded) sets, the classifier keeps
+// two borders à la Mannila–Toivonen: the maximal known-significant and the
+// minimal known-insignificant assignments. Any assignment — including ones
+// generated after the answers arrived — is classified by comparison against
+// the borders.
+//
+// Because classifications are final (borders only ever grow), Status
+// memoizes per assignment key: a classified verdict is cached forever and an
+// Unknown verdict only re-examines marks added since the last check.
+type Classifier struct {
+	space *Space
+	// sig is an antichain of known-significant assignments; everything
+	// ≤ a member is significant.
+	sig []*Assignment
+	// insig is an antichain of known-insignificant assignments;
+	// everything ≥ a member is insignificant.
+	insig []*Assignment
+
+	// sigLog and insigLog append every mark (no antichain pruning) so
+	// cached Unknown verdicts can resume scanning incrementally.
+	sigLog   []*Assignment
+	insigLog []*Assignment
+	cache    map[string]*statusEntry
+}
+
+type statusEntry struct {
+	status   Status
+	sigIdx   int // next sigLog index to examine
+	insigIdx int // next insigLog index to examine
+}
+
+// NewClassifier returns an empty classifier over the space.
+func NewClassifier(s *Space) *Classifier {
+	return &Classifier{space: s, cache: make(map[string]*statusEntry)}
+}
+
+// Status classifies the assignment against everything marked so far. When
+// conflicting evidence exists (possible only with inconsistent answers),
+// whichever mark is examined first wins; with monotone answers the two can
+// never overlap.
+func (c *Classifier) Status(a *Assignment) Status {
+	e, ok := c.cache[a.Key()]
+	if !ok {
+		e = &statusEntry{}
+		c.cache[a.Key()] = e
+	}
+	if e.status != Unknown {
+		return e.status
+	}
+	for ; e.insigIdx < len(c.insigLog); e.insigIdx++ {
+		if c.space.Leq(c.insigLog[e.insigIdx], a) {
+			e.status = Insignificant
+			return e.status
+		}
+	}
+	for ; e.sigIdx < len(c.sigLog); e.sigIdx++ {
+		if c.space.Leq(a, c.sigLog[e.sigIdx]) {
+			e.status = Significant
+			return e.status
+		}
+	}
+	return Unknown
+}
+
+// MarkSignificant records that a's support meets the threshold; all
+// predecessors of a become significant (Observation 4.4).
+func (c *Classifier) MarkSignificant(a *Assignment) {
+	// Drop border members dominated by a; skip insertion if dominated.
+	out := c.sig[:0]
+	covered := false
+	for _, b := range c.sig {
+		if c.space.Leq(a, b) {
+			covered = true
+		}
+		if !c.space.Leq(b, a) || c.space.Leq(a, b) {
+			out = append(out, b)
+		}
+	}
+	c.sig = out
+	if covered {
+		return
+	}
+	c.sig = append(c.sig, a)
+	c.sigLog = append(c.sigLog, a)
+	if e, ok := c.cache[a.Key()]; ok {
+		e.status = Significant
+	} else {
+		c.cache[a.Key()] = &statusEntry{status: Significant}
+	}
+}
+
+// MarkInsignificant records that a's support is below the threshold; all
+// successors of a become insignificant.
+func (c *Classifier) MarkInsignificant(a *Assignment) {
+	out := c.insig[:0]
+	covered := false
+	for _, b := range c.insig {
+		if c.space.Leq(b, a) {
+			covered = true
+		}
+		if !c.space.Leq(a, b) || c.space.Leq(b, a) {
+			out = append(out, b)
+		}
+	}
+	c.insig = out
+	if covered {
+		return
+	}
+	c.insig = append(c.insig, a)
+	c.insigLog = append(c.insigLog, a)
+	if e, ok := c.cache[a.Key()]; ok {
+		e.status = Insignificant
+	} else {
+		c.cache[a.Key()] = &statusEntry{status: Insignificant}
+	}
+}
+
+// SignificantBorder returns the current antichain of maximal significant
+// assignments (shared slice; do not modify). When the traversal has
+// classified the whole space these are exactly the MSPs among the explored
+// assignments.
+func (c *Classifier) SignificantBorder() []*Assignment { return c.sig }
+
+// InsignificantBorder returns the minimal insignificant antichain.
+func (c *Classifier) InsignificantBorder() []*Assignment { return c.insig }
+
+// CountClassified reports how many of the given assignments are classified.
+func (c *Classifier) CountClassified(as []*Assignment) int {
+	n := 0
+	for _, a := range as {
+		if c.Status(a) != Unknown {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,765 @@
+package assign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// VarSpec describes one mining variable of the space.
+type VarSpec struct {
+	Name string
+	Kind vocab.Kind
+	Mult oassisql.Multiplicity
+	// Bound reports whether the WHERE clause constrains the variable; an
+	// unbound variable ranges over its entire namespace (this is how
+	// OASSIS-QL captures classic frequent itemset mining).
+	Bound bool
+}
+
+// Space is the assignment universe of one query: the projection of the
+// WHERE clause's valid assignments onto the SATISFYING variables, expanded
+// with all their generalizations (Algorithm 1, line 1), multiplicity
+// combinations (Proposition 5.1) and MORE-fact extensions. Assignments are
+// generated lazily through Roots, Successors and Predecessors.
+type Space struct {
+	v     *vocab.Vocabulary
+	query *oassisql.Query
+	vars  []VarSpec
+	kinds map[string]vocab.Kind
+
+	valid     []*Assignment
+	validKeys map[string]bool
+	// validVals holds the distinct values each bound variable takes
+	// across 𝒜valid; extension (multiplicity) candidates come from here.
+	validVals map[string][]vocab.TermID
+
+	// ub is the upper-bound antichain per variable: the most specific
+	// WHERE-derived constraints. Generalization stays within
+	// {t | ∀u ∈ ub: u ≤ t}. nil means unrestricted.
+	ub map[string][]vocab.TermID
+
+	morePool ontology.FactSet
+
+	// coverCache memoizes productCovered: singleton products repeat
+	// heavily across closure checks of related assignments.
+	coverCache map[string]bool
+}
+
+// NewSpace builds the assignment space for a query from the WHERE clause's
+// bindings. morePool is the candidate pool for MORE facts (ignored when the
+// query has no MORE keyword); in the paper these come from crowd suggestions,
+// here they are supplied by the caller (e.g. mined from simulated personal
+// histories).
+func NewSpace(q *oassisql.Query, bindings []sparql.Binding, morePool ontology.FactSet) (*Space, error) {
+	v := q.Vocabulary()
+	s := &Space{
+		v:          v,
+		query:      q,
+		kinds:      make(map[string]vocab.Kind),
+		validKeys:  make(map[string]bool),
+		validVals:  make(map[string][]vocab.TermID),
+		ub:         make(map[string][]vocab.TermID),
+		coverCache: make(map[string]bool),
+	}
+	whereKinds, err := sparql.VarKinds(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, sv := range q.SatVars() {
+		_, bound := whereKinds[sv.Name]
+		s.vars = append(s.vars, VarSpec{Name: sv.Name, Kind: sv.Kind, Mult: sv.Mult, Bound: bound})
+		s.kinds[sv.Name] = sv.Kind
+	}
+	if q.Satisfying.More {
+		s.morePool = canonicalMore(v, morePool)
+	}
+	s.computeUpperBounds()
+	s.project(bindings)
+	return s, nil
+}
+
+// Vocabulary returns the space's vocabulary.
+func (s *Space) Vocabulary() *vocab.Vocabulary { return s.v }
+
+// Query returns the query the space was built for.
+func (s *Space) Query() *oassisql.Query { return s.query }
+
+// Vars returns the mining variables (shared slice; do not modify).
+func (s *Space) Vars() []VarSpec { return s.vars }
+
+// Kinds returns the variable→namespace map (shared; do not modify).
+func (s *Space) Kinds() map[string]vocab.Kind { return s.kinds }
+
+// Valid returns the projected valid assignments 𝒜valid (multiplicity 1).
+func (s *Space) Valid() []*Assignment { return s.valid }
+
+// MorePool returns the MORE candidate pool ("" when MORE is off).
+func (s *Space) MorePool() ontology.FactSet { return s.morePool }
+
+// Leq reports a ≤ b within this space.
+func (s *Space) Leq(a, b *Assignment) bool { return Leq(s.v, s.kinds, a, b) }
+
+// project dedupes the WHERE bindings projected onto the mining variables.
+func (s *Space) project(bindings []sparql.Binding) {
+	seenVals := map[string]map[vocab.TermID]bool{}
+	for _, vs := range s.vars {
+		seenVals[vs.Name] = map[vocab.TermID]bool{}
+	}
+	for _, b := range bindings {
+		vals := make(map[string][]vocab.TermID)
+		for _, vs := range s.vars {
+			if !vs.Bound {
+				continue
+			}
+			id, ok := b[vs.Name]
+			if !ok {
+				continue
+			}
+			vals[vs.Name] = []vocab.TermID{id}
+		}
+		a := New(s.v, s.kinds, vals, nil)
+		if s.validKeys[a.Key()] {
+			continue
+		}
+		s.validKeys[a.Key()] = true
+		s.valid = append(s.valid, a)
+		for name, set := range vals {
+			for _, id := range set {
+				if !seenVals[name][id] {
+					seenVals[name][id] = true
+					s.validVals[name] = append(s.validVals[name], id)
+				}
+			}
+		}
+	}
+	sort.Slice(s.valid, func(i, j int) bool { return s.valid[i].Key() < s.valid[j].Key() })
+	for name := range s.validVals {
+		ids := s.validVals[name]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+}
+
+// computeUpperBounds derives, per variable, the most specific generalization
+// cap implied by the WHERE clause: patterns `$v subClassOf* C` and
+// `$v instanceOf C` cap v at C, and `$v instanceOf $w` (or a subClassOf path
+// to $w) makes v inherit w's cap. This matches Figure 3, whose top node is
+// (Attraction, Activity) rather than the vocabulary root.
+func (s *Space) computeUpperBounds() {
+	consts := map[string][]vocab.TermID{}
+	links := map[string][]string{}
+	for _, p := range s.query.Where {
+		if p.S.Kind != sparql.Var || p.P.Kind != sparql.Const {
+			continue
+		}
+		rel := s.v.RelationName(p.P.ID)
+		if rel != ontology.RelSubClassOf && rel != ontology.RelInstanceOf {
+			continue
+		}
+		switch p.O.Kind {
+		case sparql.Const:
+			consts[p.S.Name] = append(consts[p.S.Name], p.O.ID)
+		case sparql.Var:
+			links[p.S.Name] = append(links[p.S.Name], p.O.Name)
+		}
+	}
+	// Propagate constants through links to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for from, tos := range links {
+			for _, to := range tos {
+				for _, c := range consts[to] {
+					if !containsID(consts[from], c) {
+						consts[from] = append(consts[from], c)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, vs := range s.vars {
+		if cs, ok := consts[vs.Name]; ok && vs.Kind == vocab.Element {
+			s.ub[vs.Name] = maximalElements(s.v, vs.Kind, cs)
+		}
+	}
+}
+
+func containsID(ids []vocab.TermID, id vocab.TermID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// maximalElements keeps the most specific terms of a constraint set (the
+// conjunction of the caps).
+func maximalElements(v *vocab.Vocabulary, k vocab.Kind, ids []vocab.TermID) []vocab.TermID {
+	out := canonicalSet(v, k, ids)
+	return out
+}
+
+// withinUB reports whether a term satisfies every cap of the variable.
+func (s *Space) withinUB(name string, t vocab.TermID) bool {
+	ub, ok := s.ub[name]
+	if !ok {
+		return true
+	}
+	for _, u := range ub {
+		if !s.v.Leq(s.kinds[name], u, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ubMinimal returns the most general terms allowed for the variable: the
+// minimal elements of the region {t | ∀u ∈ ub: u ≤ t}. For an unrestricted
+// variable these are the namespace roots.
+func (s *Space) ubMinimal(name string) []vocab.TermID {
+	ub, ok := s.ub[name]
+	if !ok {
+		if s.kinds[name] == vocab.Relation {
+			return s.v.RelationRoots()
+		}
+		return s.v.ElementRoots()
+	}
+	if len(ub) == 1 {
+		return []vocab.TermID{ub[0]}
+	}
+	// Multiple incomparable caps: the minimal common specializations.
+	var topo []vocab.TermID
+	if s.kinds[name] == vocab.Relation {
+		topo = s.v.RelationsTopo()
+	} else {
+		topo = s.v.ElementsTopo()
+	}
+	var out []vocab.TermID
+	for _, t := range topo {
+		if !s.withinUB(name, t) {
+			continue
+		}
+		minimal := true
+		for _, p := range s.v.Parents(s.kinds[name], t) {
+			if s.withinUB(name, p) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Roots returns the minimal assignments of the space: each variable with
+// Min ≥ 1 takes one most-general value (one root per combination when caps
+// are incomparable), variables with Min = 0 start empty, and there are no
+// MORE facts. The traversal of Algorithm 1 starts here.
+func (s *Space) Roots() []*Assignment {
+	choices := make([][]vocab.TermID, 0, len(s.vars))
+	names := make([]string, 0, len(s.vars))
+	for _, vs := range s.vars {
+		if vs.Mult.Min == 0 {
+			continue
+		}
+		names = append(names, vs.Name)
+		choices = append(choices, s.ubMinimal(vs.Name))
+	}
+	var out []*Assignment
+	pick := make([]vocab.TermID, len(names))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(names) {
+			vals := make(map[string][]vocab.TermID, len(names))
+			for j, n := range names {
+				vals[n] = []vocab.TermID{pick[j]}
+			}
+			out = append(out, New(s.v, s.kinds, vals, nil))
+			return
+		}
+		for _, c := range choices[i] {
+			pick[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return dedupe(out)
+}
+
+// InClosure reports membership in the expanded assignment set 𝒜: every
+// singleton-product of the assignment's value sets must generalize some
+// valid assignment (the combination closure of Proposition 5.1), and every
+// MORE fact must generalize some pool fact. Unbound variables are
+// unconstrained.
+func (s *Space) InClosure(a *Assignment) bool {
+	var bound []VarSpec
+	for _, vs := range s.vars {
+		if vs.Bound && len(a.Values(vs.Name)) > 0 {
+			bound = append(bound, vs)
+		}
+	}
+	pick := make([]vocab.TermID, len(bound))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(bound) {
+			return s.productCovered(bound, pick)
+		}
+		for _, v := range a.Values(bound[i].Name) {
+			pick[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(0) {
+		return false
+	}
+	for _, f := range a.More() {
+		ok := false
+		for _, g := range s.morePool {
+			if ontology.LeqFact(s.v, f, g) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// productCovered reports whether the singleton product (bound[i] → pick[i])
+// generalizes some valid assignment. Results are memoized: related
+// assignments share most of their products.
+func (s *Space) productCovered(bound []VarSpec, pick []vocab.TermID) bool {
+	var kb strings.Builder
+	for i, vs := range bound {
+		kb.WriteString(vs.Name)
+		kb.WriteByte(':')
+		kb.WriteString(strconv.Itoa(int(pick[i])))
+		kb.WriteByte(';')
+	}
+	key := kb.String()
+	if v, ok := s.coverCache[key]; ok {
+		return v
+	}
+	covered := false
+	for _, psi := range s.valid {
+		ok := true
+		for i, vs := range bound {
+			pv := psi.Values(vs.Name)
+			if len(pv) != 1 || !s.v.Leq(vs.Kind, pick[i], pv[0]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			covered = true
+			break
+		}
+	}
+	s.coverCache[key] = covered
+	return covered
+}
+
+// IsValid reports strict validity w.r.t. the query (the `M ∩ 𝒜valid` filter
+// of Algorithm 1, line 9): multiplicities are within bounds and every
+// singleton-product over the bound variables is itself a valid assignment.
+// MORE facts never affect validity.
+func (s *Space) IsValid(a *Assignment) bool {
+	var bound []VarSpec
+	for _, vs := range s.vars {
+		n := len(a.Values(vs.Name))
+		if !vs.Mult.Allows(n) {
+			return false
+		}
+		if vs.Bound && n > 0 {
+			bound = append(bound, vs)
+		} else if vs.Bound && vs.Mult.Min > 0 {
+			return false
+		}
+	}
+	pick := make([]vocab.TermID, len(bound))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(bound) {
+			return s.validAgrees(bound, pick)
+		}
+		for _, v := range a.Values(bound[i].Name) {
+			pick[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// validAgrees reports whether some valid assignment binds exactly the given
+// values on the product's variables. Variables the product omits (legally
+// empty under multiplicity 0) may take any value there: dropping a
+// multiplicity-0 variable deletes its meta-facts, not the assignment's
+// validity (Section 3).
+func (s *Space) validAgrees(bound []VarSpec, pick []vocab.TermID) bool {
+	var kb strings.Builder
+	kb.WriteByte('=')
+	for i, vs := range bound {
+		kb.WriteString(vs.Name)
+		kb.WriteByte(':')
+		kb.WriteString(strconv.Itoa(int(pick[i])))
+		kb.WriteByte(';')
+	}
+	key := kb.String()
+	if v, ok := s.coverCache[key]; ok {
+		return v
+	}
+	agrees := false
+	for _, psi := range s.valid {
+		ok := true
+		for i, vs := range bound {
+			pv := psi.Values(vs.Name)
+			if len(pv) != 1 || pv[0] != pick[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			agrees = true
+			break
+		}
+	}
+	s.coverCache[key] = agrees
+	return agrees
+}
+
+// Instantiate applies the assignment to the SATISFYING meta-fact-set
+// (𝜙(A_SAT)): variables expand to their value sets (cross product within a
+// pattern), wildcards become the Any term, patterns containing an
+// empty-valued variable are dropped (multiplicity 0), and MORE facts are
+// appended. The result is the fact-set whose support the crowd is asked for.
+func (s *Space) Instantiate(a *Assignment) ontology.FactSet {
+	var facts []ontology.Fact
+	for _, p := range s.query.Satisfying.Patterns {
+		svals, ok := s.termValues(a, p.S)
+		if !ok {
+			continue
+		}
+		pvals, ok := s.termValues(a, p.P)
+		if !ok {
+			continue
+		}
+		ovals, ok := s.termValues(a, p.O)
+		if !ok {
+			continue
+		}
+		for _, sv := range svals {
+			for _, pv := range pvals {
+				for _, ov := range ovals {
+					facts = append(facts, ontology.Fact{S: sv, P: pv, O: ov})
+				}
+			}
+		}
+	}
+	facts = append(facts, a.More()...)
+	return ontology.NewFactSet(facts...)
+}
+
+// termValues expands one meta-fact position; ok=false means the position's
+// variable is empty and the pattern must be dropped.
+func (s *Space) termValues(a *Assignment, t sparql.Term) ([]vocab.TermID, bool) {
+	switch t.Kind {
+	case sparql.Const:
+		return []vocab.TermID{t.ID}, true
+	case sparql.Wildcard:
+		return []vocab.TermID{ontology.Any}, true
+	case sparql.Var:
+		vals := a.Values(t.Name)
+		return vals, len(vals) > 0
+	}
+	return nil, false
+}
+
+// Successors lazily generates the immediate successors of an assignment
+// within 𝒜: one-step specializations of a value, multiplicity extensions by
+// a maximally-general new value derived from the valid assignments
+// (Section 5's combinations), and MORE-fact extensions/specializations.
+// The result is deduplicated and deterministically ordered.
+func (s *Space) Successors(a *Assignment) []*Assignment {
+	var out []*Assignment
+	// 1. Specialize one value one vocabulary step.
+	for _, vs := range s.vars {
+		vals := a.Values(vs.Name)
+		for i, v := range vals {
+			for _, c := range s.v.Children(vs.Kind, v) {
+				nv := replaceAt(vals, i, c)
+				cand := s.withVals(a, vs.Name, nv)
+				if cand.Key() != a.Key() && s.InClosure(cand) {
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	// 2. Extend a multiplicity set with a new, incomparable value.
+	for _, vs := range s.vars {
+		vals := a.Values(vs.Name)
+		if vs.Mult.Max >= 0 && len(vals) >= vs.Mult.Max {
+			continue
+		}
+		for _, u := range s.extensionCandidates(vs, vals) {
+			nv := append(append([]vocab.TermID{}, vals...), u)
+			cand := s.withVals(a, vs.Name, nv)
+			if len(cand.Values(vs.Name)) != len(vals)+1 {
+				continue // absorbed by canonicalization
+			}
+			if cand.Key() != a.Key() && s.InClosure(cand) {
+				out = append(out, cand)
+			}
+		}
+	}
+	// 3. MORE-fact moves.
+	if len(s.morePool) > 0 {
+		out = append(out, s.moreSuccessors(a)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return dedupe(out)
+}
+
+// extensionCandidates returns the maximally-general terms that can extend
+// the value set: the most general terms within the variable's cap region
+// that are incomparable to every current value. It walks top-down from the
+// region's minimal elements, emitting the incomparable frontier — nodes
+// below an emitted candidate are never maximal, and nodes below a current
+// value are reached by specialization moves instead.
+func (s *Space) extensionCandidates(vs VarSpec, cur []vocab.TermID) []vocab.TermID {
+	comparable := func(t vocab.TermID) (below, above bool) {
+		for _, w := range cur {
+			if s.v.Leq(vs.Kind, t, w) {
+				below = true // t is an ancestor of a current value
+			}
+			if s.v.Leq(vs.Kind, w, t) {
+				above = true // t specializes a current value
+			}
+		}
+		return
+	}
+	seen := map[vocab.TermID]bool{}
+	var out []vocab.TermID
+	queue := append([]vocab.TermID{}, s.ubMinimal(vs.Name)...)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		below, above := comparable(t)
+		switch {
+		case above:
+			// t (and all its descendants) specialize a current
+			// value: covered by specialization moves.
+		case below:
+			// t generalizes a current value: descend — a child may
+			// leave the comparable cone.
+			queue = append(queue, s.v.Children(vs.Kind, t)...)
+		default:
+			// Incomparable and as general as possible on this path.
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// moreSuccessors extends the assignment with a pool fact or specializes an
+// existing MORE fact one step (staying below some pool fact).
+func (s *Space) moreSuccessors(a *Assignment) []*Assignment {
+	var out []*Assignment
+	cur := a.More()
+	// Add a pool fact incomparable to the current MORE facts.
+	for _, g := range s.morePool {
+		comparable := false
+		for _, f := range cur {
+			if ontology.LeqFact(s.v, f, g) || ontology.LeqFact(s.v, g, f) {
+				comparable = true
+				break
+			}
+		}
+		if comparable {
+			continue
+		}
+		nm := append(append(ontology.FactSet{}, cur...), g)
+		cand := s.withMore(a, nm)
+		if cand.Key() != a.Key() && s.InClosure(cand) {
+			out = append(out, cand)
+		}
+	}
+	// Specialize one component of one MORE fact.
+	for i, f := range cur {
+		for _, fc := range s.factSpecializations(f) {
+			nm := append(ontology.FactSet{}, cur...)
+			nm[i] = fc
+			cand := s.withMore(a, nm)
+			if cand.Key() != a.Key() && s.InClosure(cand) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// factSpecializations returns the facts obtained by specializing one
+// component of f one vocabulary step.
+func (s *Space) factSpecializations(f ontology.Fact) []ontology.Fact {
+	var out []ontology.Fact
+	if f.S != ontology.Any {
+		for _, c := range s.v.ElementChildren(f.S) {
+			out = append(out, ontology.Fact{S: c, P: f.P, O: f.O})
+		}
+	}
+	if f.P != ontology.Any {
+		for _, c := range s.v.RelationChildren(f.P) {
+			out = append(out, ontology.Fact{S: f.S, P: c, O: f.O})
+		}
+	}
+	if f.O != ontology.Any {
+		for _, c := range s.v.ElementChildren(f.O) {
+			out = append(out, ontology.Fact{S: f.S, P: f.P, O: c})
+		}
+	}
+	return out
+}
+
+// Predecessors generates the immediate generalizations of an assignment:
+// one-step generalization of a value (within the cap region), removal of a
+// value from a multiplicity set, and generalization/removal of MORE facts.
+func (s *Space) Predecessors(a *Assignment) []*Assignment {
+	var out []*Assignment
+	for _, vs := range s.vars {
+		vals := a.Values(vs.Name)
+		for i, v := range vals {
+			for _, p := range s.v.Parents(vs.Kind, v) {
+				if !s.withinUB(vs.Name, p) {
+					continue
+				}
+				cand := s.withVals(a, vs.Name, replaceAt(vals, i, p))
+				if cand.Key() != a.Key() {
+					out = append(out, cand)
+				}
+			}
+			if len(vals)-1 >= vs.Mult.Min && len(vals) > 1 {
+				cand := s.withVals(a, vs.Name, removeAt(vals, i))
+				if cand.Key() != a.Key() {
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	cur := a.More()
+	for i, f := range cur {
+		nm := append(ontology.FactSet{}, cur...)
+		nm = append(nm[:i], nm[i+1:]...)
+		cand := s.withMore(a, nm)
+		if cand.Key() != a.Key() {
+			out = append(out, cand)
+		}
+		for _, fg := range s.factGeneralizations(f) {
+			nm2 := append(ontology.FactSet{}, cur...)
+			nm2[i] = fg
+			cand := s.withMore(a, nm2)
+			if cand.Key() != a.Key() {
+				out = append(out, cand)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return dedupe(out)
+}
+
+func (s *Space) factGeneralizations(f ontology.Fact) []ontology.Fact {
+	var out []ontology.Fact
+	if f.S != ontology.Any {
+		for _, p := range s.v.ElementParents(f.S) {
+			out = append(out, ontology.Fact{S: p, P: f.P, O: f.O})
+		}
+	}
+	if f.P != ontology.Any {
+		for _, p := range s.v.RelationParents(f.P) {
+			out = append(out, ontology.Fact{S: f.S, P: p, O: f.O})
+		}
+	}
+	if f.O != ontology.Any {
+		for _, p := range s.v.ElementParents(f.O) {
+			out = append(out, ontology.Fact{S: f.S, P: f.P, O: p})
+		}
+	}
+	return out
+}
+
+// withVals derives a new assignment replacing one variable's value set.
+func (s *Space) withVals(a *Assignment, name string, vals []vocab.TermID) *Assignment {
+	nv := make(map[string][]vocab.TermID, len(a.names)+1)
+	for i, n := range a.names {
+		if n != name {
+			nv[n] = a.vals[i]
+		}
+	}
+	nv[name] = vals
+	return New(s.v, s.kinds, nv, a.more)
+}
+
+// withMore derives a new assignment replacing the MORE fact-set.
+func (s *Space) withMore(a *Assignment, more ontology.FactSet) *Assignment {
+	nv := make(map[string][]vocab.TermID, len(a.names))
+	for i, n := range a.names {
+		nv[n] = a.vals[i]
+	}
+	return New(s.v, s.kinds, nv, more)
+}
+
+func replaceAt(vals []vocab.TermID, i int, v vocab.TermID) []vocab.TermID {
+	out := make([]vocab.TermID, len(vals))
+	copy(out, vals)
+	out[i] = v
+	return out
+}
+
+func removeAt(vals []vocab.TermID, i int) []vocab.TermID {
+	out := make([]vocab.TermID, 0, len(vals)-1)
+	out = append(out, vals[:i]...)
+	out = append(out, vals[i+1:]...)
+	return out
+}
+
+func dedupe(as []*Assignment) []*Assignment {
+	out := as[:0]
+	prev := ""
+	for i, a := range as {
+		if i == 0 || a.Key() != prev {
+			out = append(out, a)
+		}
+		prev = a.Key()
+	}
+	return out
+}
+
+// DescribeVar formats a variable spec for diagnostics.
+func (vs VarSpec) String() string {
+	b := "unbound"
+	if vs.Bound {
+		b = "bound"
+	}
+	return fmt.Sprintf("$%s(%s%s, %s)", vs.Name, vs.Kind, vs.Mult, b)
+}

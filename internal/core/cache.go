@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+)
+
+// CrowdCache stores the answers collected from crowd members so that
+// re-evaluating a query with a different support threshold can replay them
+// instead of asking again (Section 6.3: "the crowd answers are independent
+// of the threshold"). It wraps members transparently: the engine counts
+// every answer it consumes (matching the paper's accounting, which counts
+// "only the answers used by the algorithm out of the cached ones"), while
+// the cache tracks how many reached a live member.
+type CrowdCache struct {
+	concrete map[cacheKey]crowd.Response
+	special  map[cacheKey]specAnswer
+
+	// Hits and Misses count lookups served from the cache vs forwarded
+	// to the live member.
+	Hits   int
+	Misses int
+}
+
+type cacheKey struct {
+	member string
+	q      string
+}
+
+type specAnswer struct {
+	idx  int
+	resp crowd.Response
+}
+
+// NewCrowdCache returns an empty answer cache.
+func NewCrowdCache() *CrowdCache {
+	return &CrowdCache{
+		concrete: make(map[cacheKey]crowd.Response),
+		special:  make(map[cacheKey]specAnswer),
+	}
+}
+
+// Wrap returns a member view that consults the cache before the live member.
+func (c *CrowdCache) Wrap(m crowd.Member) crowd.Member {
+	return &cachedMember{inner: m, cache: c}
+}
+
+// Size returns the number of distinct cached answers.
+func (c *CrowdCache) Size() int { return len(c.concrete) + len(c.special) }
+
+type cachedMember struct {
+	inner crowd.Member
+	cache *CrowdCache
+}
+
+func (m *cachedMember) ID() string { return m.inner.ID() }
+
+func (m *cachedMember) AskConcrete(fs ontology.FactSet) crowd.Response {
+	k := cacheKey{member: m.inner.ID(), q: factSetKey(fs)}
+	if resp, ok := m.cache.concrete[k]; ok {
+		m.cache.Hits++
+		return resp
+	}
+	m.cache.Misses++
+	resp := m.inner.AskConcrete(fs)
+	m.cache.concrete[k] = resp
+	return resp
+}
+
+func (m *cachedMember) AskSpecialize(base ontology.FactSet, candidates []ontology.FactSet) (int, crowd.Response) {
+	var sb strings.Builder
+	sb.WriteString(factSetKey(base))
+	sb.WriteByte('|')
+	keys := make([]string, len(candidates))
+	for i, c := range candidates {
+		keys[i] = factSetKey(c)
+	}
+	// Candidate order may differ between runs; canonicalize the key but
+	// remember the original positions to translate the cached index.
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	for _, i := range order {
+		sb.WriteString(keys[i])
+		sb.WriteByte(';')
+	}
+	k := cacheKey{member: m.inner.ID(), q: sb.String()}
+	if a, ok := m.cache.special[k]; ok {
+		m.cache.Hits++
+		if a.idx < 0 {
+			return -1, a.resp
+		}
+		// a.idx indexes the canonical order; map back.
+		return order[a.idx], a.resp
+	}
+	m.cache.Misses++
+	idx, resp := m.inner.AskSpecialize(base, candidates)
+	stored := specAnswer{idx: -1, resp: resp}
+	if idx >= 0 {
+		for ci, oi := range order {
+			if oi == idx {
+				stored.idx = ci
+				break
+			}
+		}
+	}
+	m.cache.special[k] = stored
+	return idx, resp
+}
+
+// factSetKey builds a canonical string identity for a fact-set question.
+func factSetKey(fs ontology.FactSet) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString(itoa(int(f.S)))
+		sb.WriteByte('.')
+		sb.WriteString(itoa(int(f.P)))
+		sb.WriteByte('.')
+		sb.WriteString(itoa(int(f.O)))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"oassis/internal/crowd"
+	"oassis/internal/vocab"
+)
+
+// The paper's prototype persisted CrowdCache in MySQL so answers survive
+// across query executions (Section 6.1). This file provides the equivalent:
+// a stable JSON snapshot format. Question keys are built from interned term
+// IDs, so a snapshot is only valid for the vocabulary it was written under;
+// the snapshot embeds a vocabulary fingerprint to catch mismatches.
+
+// cacheSnapshot is the serialized form.
+type cacheSnapshot struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"vocabulary_fingerprint"`
+	Concrete    []concreteEntry `json:"concrete"`
+	Special     []specialEntry  `json:"specialization"`
+}
+
+type concreteEntry struct {
+	Member   string  `json:"member"`
+	Question string  `json:"question"`
+	Support  float64 `json:"support"`
+	Pruned   []int32 `json:"pruned,omitempty"`
+}
+
+type specialEntry struct {
+	Member   string  `json:"member"`
+	Question string  `json:"question"`
+	Index    int     `json:"index"`
+	Support  float64 `json:"support"`
+	Pruned   []int32 `json:"pruned,omitempty"`
+}
+
+// Save writes the cache as JSON. The vocabulary fingerprint ties the
+// snapshot to the ontology it was collected under.
+func (c *CrowdCache) Save(w io.Writer, v *vocab.Vocabulary) error {
+	snap := cacheSnapshot{Version: 1, Fingerprint: vocabFingerprint(v)}
+	for k, resp := range c.concrete {
+		snap.Concrete = append(snap.Concrete, concreteEntry{
+			Member: k.member, Question: k.q,
+			Support: resp.Support, Pruned: toInt32(resp.Pruned),
+		})
+	}
+	for k, a := range c.special {
+		snap.Special = append(snap.Special, specialEntry{
+			Member: k.member, Question: k.q,
+			Index: a.idx, Support: a.resp.Support, Pruned: toInt32(a.resp.Pruned),
+		})
+	}
+	// Deterministic output for reproducible snapshots.
+	sort.Slice(snap.Concrete, func(i, j int) bool {
+		if snap.Concrete[i].Member != snap.Concrete[j].Member {
+			return snap.Concrete[i].Member < snap.Concrete[j].Member
+		}
+		return snap.Concrete[i].Question < snap.Concrete[j].Question
+	})
+	sort.Slice(snap.Special, func(i, j int) bool {
+		if snap.Special[i].Member != snap.Special[j].Member {
+			return snap.Special[i].Member < snap.Special[j].Member
+		}
+		return snap.Special[i].Question < snap.Special[j].Question
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// LoadCrowdCache reads a JSON snapshot written by Save, verifying it was
+// collected under the same vocabulary.
+func LoadCrowdCache(r io.Reader, v *vocab.Vocabulary) (*CrowdCache, error) {
+	var snap cacheSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("crowdcache: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("crowdcache: unsupported snapshot version %d", snap.Version)
+	}
+	if fp := vocabFingerprint(v); snap.Fingerprint != fp {
+		return nil, fmt.Errorf("crowdcache: snapshot was collected under a different vocabulary")
+	}
+	c := NewCrowdCache()
+	for _, e := range snap.Concrete {
+		c.concrete[cacheKey{member: e.Member, q: e.Question}] = crowd.Response{
+			Support: e.Support, Pruned: fromInt32(e.Pruned),
+		}
+	}
+	for _, e := range snap.Special {
+		c.special[cacheKey{member: e.Member, q: e.Question}] = specAnswer{
+			idx:  e.Index,
+			resp: crowd.Response{Support: e.Support, Pruned: fromInt32(e.Pruned)},
+		}
+	}
+	return c, nil
+}
+
+// vocabFingerprint hashes the vocabulary's interned names in ID order (FNV);
+// two vocabularies sharing a fingerprint assign identical IDs to identical
+// names.
+func vocabFingerprint(v *vocab.Vocabulary) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	for i := 0; i < v.NumElements(); i++ {
+		mix(v.ElementName(vocab.TermID(i)))
+	}
+	mix("|")
+	for i := 0; i < v.NumRelations(); i++ {
+		mix(v.RelationName(vocab.TermID(i)))
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func toInt32(ids []vocab.TermID) []int32 {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = int32(id)
+	}
+	return out
+}
+
+func fromInt32(ids []int32) []vocab.TermID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]vocab.TermID, len(ids))
+	for i, id := range ids {
+		out[i] = vocab.TermID(id)
+	}
+	return out
+}

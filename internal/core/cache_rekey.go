@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// Rekey translates every cached question from one vocabulary's term IDs to
+// another's, matching terms by name — the migration step behind ontology
+// evolution (Section 8): answers collected before the ontology grew keep
+// replaying afterwards. Entries mentioning terms the new vocabulary lacks
+// are dropped (their questions can no longer be posed).
+func (c *CrowdCache) Rekey(oldV, newV *vocab.Vocabulary) (*CrowdCache, error) {
+	out := NewCrowdCache()
+	for k, resp := range c.concrete {
+		q, ok, err := rekeyQuestion(k.q, oldV, newV)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		out.concrete[cacheKey{member: k.member, q: q}] = rekeyResponse(resp, oldV, newV)
+	}
+	for k, a := range c.special {
+		q, ok, err := rekeySpecKey(k.q, oldV, newV)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		a.resp = rekeyResponse(a.resp, oldV, newV)
+		out.special[cacheKey{member: k.member, q: q}] = a
+	}
+	return out, nil
+}
+
+// rekeySpecKey handles "baseKey|candKey;candKey;...".
+func rekeySpecKey(key string, oldV, newV *vocab.Vocabulary) (string, bool, error) {
+	base, rest, found := strings.Cut(key, "|")
+	if !found {
+		return "", false, fmt.Errorf("crowdcache: malformed specialization key %q", key)
+	}
+	nb, ok, err := rekeyQuestion(base, oldV, newV)
+	if err != nil || !ok {
+		return "", false, err
+	}
+	var sb strings.Builder
+	sb.WriteString(nb)
+	sb.WriteByte('|')
+	for _, cand := range strings.Split(rest, ";") {
+		if cand == "" {
+			continue
+		}
+		nc, ok, err := rekeyQuestion(cand, oldV, newV)
+		if err != nil || !ok {
+			// A candidate list that changed shape cannot replay:
+			// the stored index would point at the wrong option.
+			return "", false, err
+		}
+		sb.WriteString(nc)
+		sb.WriteByte(';')
+	}
+	return sb.String(), true, nil
+}
+
+// rekeyQuestion translates one factSetKey ("s.p.o,s.p.o,").
+func rekeyQuestion(key string, oldV, newV *vocab.Vocabulary) (string, bool, error) {
+	var sb strings.Builder
+	for _, facts := range strings.Split(key, ",") {
+		if facts == "" {
+			continue
+		}
+		parts := strings.Split(facts, ".")
+		if len(parts) != 3 {
+			return "", false, fmt.Errorf("crowdcache: malformed question key %q", key)
+		}
+		ids := make([]vocab.TermID, 3)
+		for i, p := range parts {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				return "", false, fmt.Errorf("crowdcache: malformed question key %q", key)
+			}
+			ids[i] = vocab.TermID(n)
+		}
+		s, ok := rekeyTerm(ids[0], oldV, newV, false)
+		if !ok {
+			return "", false, nil
+		}
+		p, ok := rekeyTerm(ids[1], oldV, newV, true)
+		if !ok {
+			return "", false, nil
+		}
+		o, ok := rekeyTerm(ids[2], oldV, newV, false)
+		if !ok {
+			return "", false, nil
+		}
+		sb.WriteString(itoa(int(s)))
+		sb.WriteByte('.')
+		sb.WriteString(itoa(int(p)))
+		sb.WriteByte('.')
+		sb.WriteString(itoa(int(o)))
+		sb.WriteByte(',')
+	}
+	return sb.String(), true, nil
+}
+
+func rekeyTerm(id vocab.TermID, oldV, newV *vocab.Vocabulary, relation bool) (vocab.TermID, bool) {
+	if id == ontology.Any {
+		return id, true
+	}
+	var name string
+	if relation {
+		name = oldV.RelationName(id)
+	} else {
+		name = oldV.ElementName(id)
+	}
+	if name == "" {
+		return 0, false
+	}
+	var nid vocab.TermID
+	if relation {
+		nid = newV.Relation(name)
+	} else {
+		nid = newV.Element(name)
+	}
+	if nid == vocab.NoTerm {
+		return 0, false
+	}
+	return nid, true
+}
+
+func rekeyResponse(r crowd.Response, oldV, newV *vocab.Vocabulary) crowd.Response {
+	if len(r.Pruned) == 0 {
+		return r
+	}
+	var pruned []vocab.TermID
+	for _, t := range r.Pruned {
+		if nt, ok := rekeyTerm(t, oldV, newV, false); ok {
+			pruned = append(pruned, nt)
+		}
+	}
+	r.Pruned = pruned
+	return r
+}

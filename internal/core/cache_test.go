@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/paperdata"
+)
+
+func TestCachePersistRoundTrip(t *testing.T) {
+	v, _ := paperdata.Build()
+	cache := core.NewCrowdCache()
+	member := cache.Wrap(newAvgMember(v))
+	fs1 := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+	fs2 := ontology.NewFactSet(paperdata.Fact(v, "Pasta", "eatAt", "Pine"))
+	r1 := member.AskConcrete(fs1)
+	_ = member.AskConcrete(fs2)
+	idx, _ := member.AskSpecialize(fs1, []ontology.FactSet{fs2})
+
+	var buf bytes.Buffer
+	if err := cache.Save(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadCrowdCache(bytes.NewReader(buf.Bytes()), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != cache.Size() {
+		t.Fatalf("round trip size %d != %d", loaded.Size(), cache.Size())
+	}
+	// Replays hit the loaded cache without touching the member.
+	replay := loaded.Wrap(failingMember{})
+	if got := replay.AskConcrete(fs1); got.Support != r1.Support {
+		t.Errorf("replayed support %v != %v", got.Support, r1.Support)
+	}
+	if gotIdx, _ := replay.AskSpecialize(fs1, []ontology.FactSet{fs2}); gotIdx != idx {
+		t.Errorf("replayed specialization index %d != %d", gotIdx, idx)
+	}
+	if loaded.Hits != 2 || loaded.Misses != 0 {
+		t.Errorf("hits=%d misses=%d, want 2/0", loaded.Hits, loaded.Misses)
+	}
+}
+
+func TestCachePersistVocabularyMismatch(t *testing.T) {
+	v, _ := paperdata.Build()
+	cache := core.NewCrowdCache()
+	member := cache.Wrap(newAvgMember(v))
+	member.AskConcrete(ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park")))
+
+	var buf bytes.Buffer
+	if err := cache.Save(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	// A different vocabulary must be rejected.
+	v2, _, err := ontology.Load(strings.NewReader("a subClassOf b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadCrowdCache(bytes.NewReader(buf.Bytes()), v2); err == nil {
+		t.Fatal("snapshot accepted under a different vocabulary")
+	}
+}
+
+func TestLoadCrowdCacheMalformed(t *testing.T) {
+	v, _ := paperdata.Build()
+	if _, err := core.LoadCrowdCache(strings.NewReader("not json"), v); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+	if _, err := core.LoadCrowdCache(strings.NewReader(`{"version": 9}`), v); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// failingMember panics on any question: replays must never reach it.
+type failingMember struct{}
+
+func (failingMember) ID() string { return "u_avg" }
+
+func (failingMember) AskConcrete(ontology.FactSet) crowd.Response {
+	panic("live question on a replay")
+}
+
+func (failingMember) AskSpecialize(ontology.FactSet, []ontology.FactSet) (int, crowd.Response) {
+	panic("live question on a replay")
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sort"
+
+	"oassis/internal/assign"
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// Diversify picks k assignments maximizing pairwise semantic distance — the
+// "diversified answers" extension of the paper's future work (Section 8).
+// The distance between two assignments is one minus the Jaccard similarity
+// of their semantic term closures (every term of the instantiated fact-set
+// plus all its generalizations), so answers that only differ in a sibling
+// leaf count as close while answers about different regions of the ontology
+// count as far. Selection is greedy max-min: start from the pair that is
+// farthest apart, then repeatedly add the assignment whose minimum distance
+// to the picked set is largest.
+func Diversify(sp *assign.Space, msps []*assign.Assignment, k int) []*assign.Assignment {
+	if k <= 0 || len(msps) <= k {
+		out := append([]*assign.Assignment{}, msps...)
+		return out
+	}
+	closures := make([]map[vocab.TermID]bool, len(msps))
+	for i, a := range msps {
+		closures[i] = termClosure(sp, a)
+	}
+	dist := func(i, j int) float64 {
+		return 1 - jaccard(closures[i], closures[j])
+	}
+	// Seed with the farthest pair.
+	bi, bj, best := 0, 0, -1.0
+	for i := 0; i < len(msps); i++ {
+		for j := i + 1; j < len(msps); j++ {
+			if d := dist(i, j); d > best {
+				bi, bj, best = i, j, d
+			}
+		}
+	}
+	picked := []int{bi}
+	if k > 1 {
+		picked = append(picked, bj)
+	}
+	inPicked := map[int]bool{bi: true, bj: true}
+	for len(picked) < k {
+		cand, candScore := -1, -1.0
+		for i := range msps {
+			if inPicked[i] {
+				continue
+			}
+			minD := 2.0
+			for _, p := range picked {
+				if d := dist(i, p); d < minD {
+					minD = d
+				}
+			}
+			if minD > candScore {
+				cand, candScore = i, minD
+			}
+		}
+		if cand < 0 {
+			break
+		}
+		picked = append(picked, cand)
+		inPicked[cand] = true
+	}
+	sort.Ints(picked)
+	out := make([]*assign.Assignment, 0, len(picked))
+	for _, i := range picked {
+		out = append(out, msps[i])
+	}
+	return out
+}
+
+// termClosure collects every element/relation of the assignment's fact-set
+// together with all generalizations.
+func termClosure(sp *assign.Space, a *assign.Assignment) map[vocab.TermID]bool {
+	v := sp.Vocabulary()
+	out := map[vocab.TermID]bool{}
+	addE := func(e vocab.TermID) {
+		if e == ontology.Any || out[e] {
+			return
+		}
+		out[e] = true
+		for _, anc := range v.ElementAncestors(e) {
+			out[anc] = true
+		}
+	}
+	for _, f := range sp.Instantiate(a) {
+		addE(f.S)
+		addE(f.O)
+		// Relations share the TermID space numerically; offset them so
+		// they never collide with elements in the closure set.
+		if f.P != ontology.Any {
+			out[f.P+vocab.TermID(1<<24)] = true
+		}
+	}
+	return out
+}
+
+func jaccard(a, b map[vocab.TermID]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,270 @@
+package core_test
+
+import (
+	"testing"
+
+	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/paperdata"
+	"oassis/internal/vocab"
+)
+
+func TestDiversifyPicksDistantAnswers(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	mk := func(x, y string) *assign.Assignment {
+		return assign.New(v, sp.Kinds(), map[string][]vocab.TermID{
+			"x": {v.Element(x)}, "y": {v.Element(y)},
+		}, nil)
+	}
+	msps := []*assign.Assignment{
+		mk("Central Park", "Biking"),
+		mk("Central Park", "Ball Game"),
+		mk("Bronx Zoo", "Feed a monkey"),
+	}
+	picked := core.Diversify(sp, msps, 2)
+	if len(picked) != 2 {
+		t.Fatalf("picked %d", len(picked))
+	}
+	hasZoo := false
+	for _, p := range picked {
+		if p.Values("x")[0] == v.Element("Bronx Zoo") {
+			hasZoo = true
+		}
+	}
+	if !hasZoo {
+		t.Error("diversify dropped the only Bronx Zoo answer")
+	}
+	// k ≥ n returns everything.
+	if got := core.Diversify(sp, msps, 10); len(got) != 3 {
+		t.Errorf("k>n returned %d", len(got))
+	}
+	// k ≤ 0 returns everything (no limit).
+	if got := core.Diversify(sp, msps, 0); len(got) != 3 {
+		t.Errorf("k=0 returned %d", len(got))
+	}
+	// Empty input.
+	if got := core.Diversify(sp, nil, 2); len(got) != 0 {
+		t.Errorf("empty input returned %d", len(got))
+	}
+}
+
+func TestSingleUserTopK(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	var streamed int
+	res := (&core.SingleUser{
+		Space: sp, Member: newAvgMember(v), Theta: 0.4, Seed: 1,
+		MaxMSPs: 1,
+		OnMSP:   func(*assign.Assignment) { streamed++ },
+	}).Run()
+	if len(res.MSPs) != 1 {
+		t.Fatalf("MaxMSPs=1 returned %d MSPs", len(res.MSPs))
+	}
+	if streamed != 1 {
+		t.Fatalf("streamed %d MSPs", streamed)
+	}
+	full := (&core.SingleUser{Space: sp, Member: newAvgMember(v), Theta: 0.4, Seed: 1}).Run()
+	if res.Stats.Questions >= full.Stats.Questions {
+		t.Error("early stop saved no questions")
+	}
+	// The top-1 answer is one of the full run's MSPs.
+	want := map[string]bool{}
+	for _, m := range full.MSPs {
+		want[m.Key()] = true
+	}
+	if !want[res.MSPs[0].Key()] {
+		t.Error("top-1 MSP is not an MSP of the full run")
+	}
+}
+
+func TestEngineTopKStreaming(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	du1, du2 := paperdata.Table3(v)
+	m1 := crowd.NewSimMember("u1", v, du1, 1)
+	m1.Scale = nil
+	m2 := crowd.NewSimMember("u2", v, du2, 2)
+	m2.Scale = nil
+	var streamed []string
+	eng := core.NewEngine(sp, []crowd.Member{m1, m2}, core.EngineConfig{
+		Theta:      0.4,
+		Aggregator: crowd.NewMeanAggregator(2, 0.4),
+		MaxMSPs:    2,
+		OnMSP:      func(a *assign.Assignment) { streamed = append(streamed, a.Key()) },
+		Seed:       1,
+	})
+	res := eng.Run()
+	if len(res.MSPs) != 2 {
+		t.Fatalf("MaxMSPs=2 returned %d MSPs", len(res.MSPs))
+	}
+	if len(streamed) != 2 {
+		t.Fatalf("streamed %d", len(streamed))
+	}
+}
+
+func TestResultSupports(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	res := (&core.SingleUser{Space: sp, Member: newAvgMember(v), Theta: 0.4, Seed: 1}).Run()
+	if len(res.Supports) == 0 {
+		t.Fatal("no supports recorded")
+	}
+	// Every MSP was asked directly, so its support must be present and
+	// at or above the threshold.
+	for _, m := range res.MSPs {
+		s, ok := res.SupportOf(m)
+		if !ok {
+			t.Fatalf("MSP %s has no recorded support", m.Key())
+		}
+		if s < 0.4 {
+			t.Errorf("MSP support %v below threshold", s)
+		}
+	}
+}
+
+// TestEngineAllSpammers injects a crowd of only spammers: the run must
+// terminate and the consistency filter should flag at least some of them.
+func TestEngineAllSpammers(t *testing.T) {
+	sp, _ := buildSpace(t, paperdata.SimpleQueryText, nil)
+	members := []crowd.Member{
+		crowd.NewSpammer("s1", 1),
+		crowd.NewSpammer("s2", 2),
+		crowd.NewSpammer("s3", 3),
+	}
+	eng := core.NewEngine(sp, members, core.EngineConfig{
+		Theta:       0.4,
+		Aggregator:  crowd.NewMeanAggregator(3, 0.4),
+		Consistency: true,
+		Seed:        1,
+	})
+	res := eng.Run()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	// Termination is the main property; MSP quality is undefined under
+	// pure noise. The MSP set must still be an antichain.
+	for i, a := range res.MSPs {
+		for j, b := range res.MSPs {
+			if i != j && sp.Leq(a, b) {
+				t.Fatal("MSPs not an antichain under noise")
+			}
+		}
+	}
+}
+
+// TestEngineMemberDropout caps sessions aggressively; the engine must still
+// finish and produce a consistent (possibly partial) result.
+func TestEngineMemberDropout(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	du1, du2 := paperdata.Table3(v)
+	members := []crowd.Member{
+		crowd.NewSimMember("u1", v, du1, 1),
+		crowd.NewSimMember("u2", v, du2, 2),
+	}
+	for _, cap := range []int{1, 2, 3, 5, 8} {
+		eng := core.NewEngine(sp, members, core.EngineConfig{
+			Theta:                 0.4,
+			Aggregator:            crowd.NewMeanAggregator(2, 0.4),
+			MaxQuestionsPerMember: cap,
+			Seed:                  1,
+		})
+		res := eng.Run()
+		if res.Stats.Questions > 2*cap {
+			t.Errorf("cap %d: asked %d questions", cap, res.Stats.Questions)
+		}
+	}
+}
+
+// TestHorizontalNaiveDeterminism pins the baselines' reproducibility.
+func TestHorizontalNaiveDeterminism(t *testing.T) {
+	for _, st := range []core.Strategy{core.Horizontal, core.Naive} {
+		sp1, v1 := buildSpace(t, paperdata.SimpleQueryText, nil)
+		r1 := (&core.SingleUser{Space: sp1, Member: newAvgMember(v1), Theta: 0.4, Strategy: st, Seed: 11}).Run()
+		sp2, v2 := buildSpace(t, paperdata.SimpleQueryText, nil)
+		r2 := (&core.SingleUser{Space: sp2, Member: newAvgMember(v2), Theta: 0.4, Strategy: st, Seed: 11}).Run()
+		if r1.Stats.Questions != r2.Stats.Questions || len(r1.MSPs) != len(r2.MSPs) {
+			t.Errorf("%v: nondeterministic run", st)
+		}
+	}
+}
+
+// TestStrategiesAgreeOnMSPs: vertical and horizontal fully classify the
+// space and must produce identical MSP sets.
+func TestStrategiesAgreeOnMSPs(t *testing.T) {
+	spV, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	rv := (&core.SingleUser{Space: spV, Member: newAvgMember(v), Theta: 0.3, Seed: 5}).Run()
+	spH, v2 := buildSpace(t, paperdata.SimpleQueryText, nil)
+	rh := (&core.SingleUser{Space: spH, Member: newAvgMember(v2), Theta: 0.3, Strategy: core.Horizontal, Seed: 5}).Run()
+	if len(rv.MSPs) != len(rh.MSPs) {
+		t.Fatalf("vertical found %d MSPs, horizontal %d", len(rv.MSPs), len(rh.MSPs))
+	}
+	for i := range rv.MSPs {
+		if rv.MSPs[i].Key() != rh.MSPs[i].Key() {
+			t.Fatal("vertical and horizontal disagree on the MSP set")
+		}
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	du1, du2 := paperdata.Table3(v)
+	m1 := crowd.NewSimMember("u1", v, du1, 1)
+	m1.Scale = nil
+	m2 := crowd.NewSimMember("u2", v, du2, 2)
+	m2.Scale = nil
+	eng := core.NewEngine(sp, []crowd.Member{m1, m2}, core.EngineConfig{
+		Theta:      0.4,
+		Aggregator: crowd.NewMeanAggregator(2, 0.4),
+		Seed:       1,
+	})
+	res := eng.Run()
+	if len(res.MSPs) == 0 {
+		t.Fatal("no MSPs")
+	}
+	prov := eng.Explain(res.MSPs[0])
+	if len(prov) != 2 {
+		t.Fatalf("provenance entries = %d, want both members", len(prov))
+	}
+	if prov[0].MemberID != "u1" || prov[1].MemberID != "u2" {
+		t.Fatalf("provenance order: %+v", prov)
+	}
+	// The aggregated support must equal the mean of the provenance.
+	s, ok := res.SupportOf(res.MSPs[0])
+	if !ok {
+		t.Fatal("no aggregate support")
+	}
+	mean := (prov[0].Support + prov[1].Support) / 2
+	if diff := s - mean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("aggregate %v != provenance mean %v", s, mean)
+	}
+}
+
+// TestCalibrationBansSpammersBeforeMining: with a calibration phase, the
+// probe chain flags random answerers before any mining question reaches
+// them.
+func TestCalibrationBansSpammersBeforeMining(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	du1, du2 := paperdata.Table3(v)
+	honest1 := crowd.NewSimMember("u1", v, du1, 1)
+	honest2 := crowd.NewSimMember("u2", v, du2, 2)
+	spam := crowd.NewSpammer("spam", 3)
+	agg := crowd.NewTrustWeightedAggregator(2, 0.4)
+	eng := core.NewEngine(sp, []crowd.Member{honest1, honest2, spam}, core.EngineConfig{
+		Theta:                0.4,
+		Aggregator:           agg,
+		Consistency:          true,
+		CalibrationQuestions: 8,
+		Seed:                 1,
+	})
+	res := eng.Run()
+	if res.Stats.Questions == 0 {
+		t.Fatal("no questions")
+	}
+	flagged := eng.FlaggedSpammers()
+	for _, id := range flagged {
+		if id != "spam" {
+			t.Errorf("honest member %q flagged during calibration", id)
+		}
+	}
+	if len(flagged) != 1 {
+		t.Errorf("flagged = %v, want exactly the spammer", flagged)
+	}
+}

@@ -1,0 +1,543 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"oassis/internal/assign"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// EngineConfig parameterizes the multi-user evaluation of Section 4.2.
+type EngineConfig struct {
+	// Theta is the query's support threshold.
+	Theta float64
+	// Aggregator is the black-box decision mechanism; nil uses the
+	// paper's 5-answer mean rule.
+	Aggregator crowd.Aggregator
+	// SpecializationRatio is the probability that a descend step uses a
+	// specialization question instead of a concrete one (the paper
+	// observed members choosing specialization ~12% of the time).
+	SpecializationRatio float64
+	// MaxQuestionsPerMember caps one member's session ("the outer loop
+	// ... can be terminated at any point"); 0 means unlimited.
+	MaxQuestionsPerMember int
+	// Consistency enables the Section 4.2 spammer filter; flagged
+	// members stop receiving questions and their answers are dropped
+	// from a TrustWeightedAggregator (if one is configured).
+	Consistency bool
+	// CalibrationQuestions, with Consistency, probes each member on a
+	// chain of comparable assignments before mining starts — the
+	// "preliminary step to filter the crowd members" of Section 4.2 —
+	// so spammers are caught before their answers settle decisions.
+	CalibrationQuestions int
+	// MaxMSPs stops the run once this many MSPs are confirmed (the
+	// top-k extension; 0 = mine to completion).
+	MaxMSPs int
+	// OnMSP, when set, streams each MSP the moment it is confirmed —
+	// the incremental answer delivery the paper emphasizes ("answers
+	// can be returned ... as soon as they are identified").
+	OnMSP func(*assign.Assignment)
+	// Seed drives question-type choices.
+	Seed int64
+}
+
+// Engine is the multi-user query evaluator: the paper's QueueManager. It
+// traverses the assignment DAG top-down per member while inferring from the
+// globally collected knowledge, exactly as the five modifications of
+// Section 4.2 describe. Run serves members sequentially and
+// deterministically; RunParallel serves them concurrently.
+type Engine struct {
+	// mu guards all engine state during RunParallel; Run never contends.
+	mu sync.Mutex
+
+	space *assign.Space
+	cfg   EngineConfig
+
+	agg     crowd.Aggregator
+	global  *assign.Classifier
+	tracker *progressTracker
+	stats   Stats
+	rng     *rand.Rand
+
+	byKey map[string]*assign.Assignment
+	succs map[string][]*assign.Assignment
+
+	// decided freezes the first aggregator verdict per assignment.
+	decided map[string]crowd.Decision
+
+	users   []*userState
+	checker *crowd.ConsistencyChecker
+
+	confirmed map[string]bool
+	stopped   bool
+}
+
+// userState tracks one member's session. answers records the member's
+// support value per assignment key; it gates the member's own descent
+// (modification 4 of Section 4.2). Note the Section 4.2 preamble:
+// multi-user inferences are drawn from the GLOBALLY collected knowledge —
+// a member's personal no blocks their own inner-loop dive, but they may
+// still be asked below it when the outer loop reaches there through
+// globally classified assignments ("this may lead to some redundant
+// questions", which the paper accepts for better pruning).
+type userState struct {
+	member  crowd.Member
+	answers map[string]float64
+	pruned  map[vocab.TermID]bool
+	asked   int
+	banned  bool
+}
+
+// answeredYes reports whether the member answered the assignment with
+// support at or above the threshold.
+func (u *userState) answeredYes(key string, theta float64) bool {
+	s, ok := u.answers[key]
+	return ok && s >= theta
+}
+
+// NewEngine builds a multi-user evaluator over the space and member pool.
+func NewEngine(sp *assign.Space, members []crowd.Member, cfg EngineConfig) *Engine {
+	agg := cfg.Aggregator
+	if agg == nil {
+		agg = crowd.NewMeanAggregator(5, cfg.Theta)
+	}
+	e := &Engine{
+		space:     sp,
+		cfg:       cfg,
+		agg:       agg,
+		global:    assign.NewClassifier(sp),
+		tracker:   newProgressTracker(sp),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		byKey:     make(map[string]*assign.Assignment),
+		succs:     make(map[string][]*assign.Assignment),
+		decided:   make(map[string]crowd.Decision),
+		confirmed: make(map[string]bool),
+	}
+	if cfg.Consistency {
+		e.checker = crowd.NewConsistencyChecker(sp.Vocabulary())
+	}
+	for _, m := range members {
+		e.users = append(e.users, &userState{
+			member:  m,
+			answers: make(map[string]float64),
+			pruned:  make(map[vocab.TermID]bool),
+		})
+	}
+	return e
+}
+
+// Run drives member sessions round-robin until no member can contribute,
+// then finalizes undecided assignments from the answers gathered so far.
+// A member with nothing to answer in one round is retried in later rounds:
+// other members' answers can settle assignments and unlock new regions.
+func (e *Engine) Run() *Result {
+	if e.checker != nil && e.cfg.CalibrationQuestions > 0 {
+		e.calibrate()
+	}
+	for !e.stopped {
+		progress := false
+		for _, u := range e.users {
+			if u.banned || e.stopped {
+				continue
+			}
+			if e.cfg.MaxQuestionsPerMember > 0 && u.asked >= e.cfg.MaxQuestionsPerMember {
+				continue
+			}
+			if e.stepUser(u) {
+				progress = true
+			}
+			if e.checker != nil && e.checker.IsSpammer(u.member.ID()) && !u.banned {
+				u.banned = true
+				if tw, ok := e.agg.(*crowd.TrustWeightedAggregator); ok {
+					tw.SetTrust(u.member.ID(), 0)
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	e.finalize()
+	return e.result()
+}
+
+// calibrate asks every member about a descending chain of assignments. The
+// chain's members are pairwise comparable, so the consistency checker can
+// judge monotonicity immediately; members flagged here never influence the
+// mining phase. Calibration answers still count as questions and feed the
+// aggregator (honest answers about general assignments are useful work).
+func (e *Engine) calibrate() {
+	probes := e.probeChain(e.cfg.CalibrationQuestions)
+	for _, u := range e.users {
+		for _, p := range probes {
+			if e.assignmentPruned(u, p) {
+				e.recordAnswer(u, p, 0, true)
+				continue
+			}
+			e.askConcreteUser(u, p)
+			if e.checker.IsSpammer(u.member.ID()) {
+				u.banned = true
+				if tw, ok := e.agg.(*crowd.TrustWeightedAggregator); ok {
+					tw.SetTrust(u.member.ID(), 0)
+				}
+				break
+			}
+		}
+	}
+}
+
+// probeChain walks from a root down first-successor edges, yielding up to n
+// pairwise comparable assignments.
+func (e *Engine) probeChain(n int) []*assign.Assignment {
+	roots := e.roots()
+	if len(roots) == 0 {
+		return nil
+	}
+	chain := []*assign.Assignment{roots[0]}
+	cur := roots[0]
+	for len(chain) < n {
+		succs := e.successors(cur)
+		if len(succs) == 0 {
+			break
+		}
+		cur = succs[0]
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// stepUser advances one member by (at most) one question: it navigates from
+// the roots through descendable assignments to the first one this member
+// should answer. It reports false when the member has nothing left to do.
+func (e *Engine) stepUser(u *userState) bool {
+	queue := e.roots()
+	seen := make(map[string]bool, len(queue))
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		if seen[a.Key()] {
+			continue
+		}
+		seen[a.Key()] = true
+
+		if e.globalStatus(a) == assign.Insignificant {
+			continue // pruned globally (modification 4)
+		}
+		if e.globalStatus(a) == assign.Significant {
+			// Globally settled significant: descend regardless of
+			// this member's own view (the outer loop must still
+			// collect their answers for deeper, undecided nodes —
+			// the Section 4.2 refinement), without re-asking.
+			if u.answeredYes(a.Key(), e.cfg.Theta) && e.maybeSpecialize(u, a) {
+				return true
+			}
+			queue = append(queue, e.successors(a)...)
+			continue
+		}
+		// Globally undecided: collect this member's answer if missing.
+		if _, answered := u.answers[a.Key()]; !answered {
+			if e.assignmentPruned(u, a) {
+				// Auto-answer 0 from an earlier pruning click.
+				e.recordAnswer(u, a, 0, true)
+				continue
+			}
+			e.askConcreteUser(u, a)
+			return true
+		}
+		// Answered: the member dives below only after a personal yes
+		// (modification 4); a personal no leaves the region to others.
+		if u.answeredYes(a.Key(), e.cfg.Theta) {
+			if e.maybeSpecialize(u, a) {
+				return true
+			}
+			queue = append(queue, e.successors(a)...)
+		}
+		continue
+	}
+	return false
+}
+
+// maybeSpecialize rolls the question-type choice at a personally-significant
+// assignment and, when specialization is drawn and useful, asks it.
+func (e *Engine) maybeSpecialize(u *userState, base *assign.Assignment) bool {
+	if e.cfg.SpecializationRatio <= 0 || e.rng.Float64() >= e.cfg.SpecializationRatio {
+		return false
+	}
+	var open []*assign.Assignment
+	for _, succ := range e.successors(base) {
+		if e.globalStatus(succ) != assign.Unknown {
+			continue
+		}
+		if _, answered := u.answers[succ.Key()]; answered {
+			continue
+		}
+		if e.assignmentPruned(u, succ) {
+			e.recordAnswer(u, succ, 0, true)
+			continue
+		}
+		open = append(open, succ)
+	}
+	if len(open) < 2 {
+		return false
+	}
+	cands := make([]ontology.FactSet, len(open))
+	for i, o := range open {
+		cands[i] = e.space.Instantiate(o)
+	}
+	idx, resp := u.member.AskSpecialize(e.space.Instantiate(base), cands)
+	u.asked++
+	e.stats.Questions++
+	e.stats.SpecialQ++
+	if idx < 0 {
+		e.stats.NoneOfThese++
+		e.stats.AutoAnswers += len(open) - 1
+		for _, o := range open {
+			e.recordAnswer(u, o, 0, true)
+		}
+	} else {
+		e.recordAnswer(u, open[idx], resp.Support, false)
+	}
+	e.tracker.sample(&e.stats)
+	return true
+}
+
+// askConcreteUser poses one concrete question to the member.
+func (e *Engine) askConcreteUser(u *userState, a *assign.Assignment) {
+	resp := u.member.AskConcrete(e.space.Instantiate(a))
+	u.asked++
+	e.stats.Questions++
+	e.stats.ConcreteQ++
+	if len(resp.Pruned) > 0 {
+		e.stats.PruneClicks++
+		for _, t := range resp.Pruned {
+			u.pruned[t] = true
+		}
+	}
+	e.recordAnswer(u, a, resp.Support, false)
+	e.tracker.sample(&e.stats)
+}
+
+// recordAnswer feeds one member answer into the member's answer log, the
+// aggregator, the consistency checker and — when the aggregator reaches a
+// verdict — the global classifier. auto marks answers obtained without a
+// question (pruning inference, none-of-these fan-out).
+func (e *Engine) recordAnswer(u *userState, a *assign.Assignment, support float64, auto bool) {
+	u.answers[a.Key()] = support
+	if auto {
+		e.stats.AutoAnswers++
+	}
+	if e.checker != nil && !auto {
+		e.checker.Record(u.member.ID(), e.space.Instantiate(a), support)
+	}
+	if _, settled := e.decided[a.Key()]; settled {
+		return
+	}
+	e.agg.Add(a.Key(), u.member.ID(), support)
+	if d := e.agg.Decide(a.Key()); d != crowd.Undecided {
+		e.settle(a, d)
+	}
+}
+
+// settle freezes the aggregator verdict and updates the global classifier.
+func (e *Engine) settle(a *assign.Assignment, d crowd.Decision) {
+	e.decided[a.Key()] = d
+	if d == crowd.OverallSignificant {
+		if e.global.Status(a) != assign.Significant {
+			e.global.MarkSignificant(a)
+			e.tracker.onMark(a, true)
+		}
+	} else {
+		if e.global.Status(a) != assign.Insignificant {
+			e.global.MarkInsignificant(a)
+			e.tracker.onMark(a, false)
+		}
+	}
+	e.checkConfirmations()
+}
+
+// finalize decides assignments whose answers never reached the aggregator's
+// quota: with at least one answer the mean decides; untouched assignments
+// reachable from the roots are conservatively insignificant.
+func (e *Engine) finalize() {
+	if e.stopped {
+		// A top-k run ends as soon as k MSPs are confirmed; the
+		// unexplored remainder stays unclassified by design.
+		return
+	}
+	keys := make([]string, 0, len(e.byKey))
+	for k := range e.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a := e.byKey[k]
+		if _, settled := e.decided[k]; settled {
+			continue
+		}
+		if e.globalStatus(a) != assign.Unknown {
+			continue
+		}
+		if e.agg.Answers(k) > 0 && e.agg.Support(k) >= e.cfg.Theta {
+			e.settle(a, crowd.OverallSignificant)
+		} else {
+			e.settle(a, crowd.OverallInsignificant)
+		}
+	}
+}
+
+func (e *Engine) globalStatus(a *assign.Assignment) assign.Status {
+	return e.global.Status(a)
+}
+
+func (e *Engine) decidedOf(a *assign.Assignment) crowd.Decision {
+	return e.decided[a.Key()]
+}
+
+func (e *Engine) assignmentPruned(u *userState, a *assign.Assignment) bool {
+	if len(u.pruned) == 0 {
+		return false
+	}
+	v := e.space.Vocabulary()
+	for _, vs := range e.space.Vars() {
+		if vs.Kind != vocab.Element {
+			continue
+		}
+		for _, val := range a.Values(vs.Name) {
+			for p := range u.pruned {
+				if v.LeqE(p, val) {
+					return true
+				}
+			}
+		}
+	}
+	for _, f := range a.More() {
+		for p := range u.pruned {
+			if (f.S != ontology.Any && v.LeqE(p, f.S)) ||
+				(f.O != ontology.Any && v.LeqE(p, f.O)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *Engine) intern(a *assign.Assignment) *assign.Assignment {
+	if prev, ok := e.byKey[a.Key()]; ok {
+		return prev
+	}
+	e.byKey[a.Key()] = a
+	e.stats.Generated++
+	return a
+}
+
+func (e *Engine) successors(a *assign.Assignment) []*assign.Assignment {
+	if cached, ok := e.succs[a.Key()]; ok {
+		return cached
+	}
+	out := e.space.Successors(a)
+	for i, x := range out {
+		out[i] = e.intern(x)
+	}
+	e.succs[a.Key()] = out
+	return out
+}
+
+func (e *Engine) roots() []*assign.Assignment {
+	rs := e.space.Roots()
+	for i, r := range rs {
+		rs[i] = e.intern(r)
+	}
+	return rs
+}
+
+func (e *Engine) checkConfirmations() {
+	for _, b := range e.global.SignificantBorder() {
+		if e.confirmed[b.Key()] {
+			continue
+		}
+		done := true
+		for _, succ := range e.successors(b) {
+			if e.global.Status(succ) != assign.Insignificant {
+				done = false
+				break
+			}
+		}
+		if done {
+			e.confirmed[b.Key()] = true
+			e.tracker.onMSP(b)
+			if e.cfg.OnMSP != nil {
+				e.cfg.OnMSP(b)
+			}
+			if e.cfg.MaxMSPs > 0 && len(e.confirmed) >= e.cfg.MaxMSPs {
+				e.stopped = true
+			}
+		}
+	}
+}
+
+// Provenance reports which members contributed answers to an assignment
+// and with what support — the transparency hook for downstream review of
+// an answer ("who said this?").
+type Provenance struct {
+	MemberID string
+	Support  float64
+}
+
+// Explain returns the per-member answers behind an assignment, sorted by
+// member ID, plus the frozen aggregate decision if any.
+func (e *Engine) Explain(a *assign.Assignment) []Provenance {
+	var out []Provenance
+	for _, u := range e.users {
+		if s, ok := u.answers[a.Key()]; ok {
+			out = append(out, Provenance{MemberID: u.member.ID(), Support: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MemberID < out[j].MemberID })
+	return out
+}
+
+// FlaggedSpammers lists members the consistency filter banned.
+func (e *Engine) FlaggedSpammers() []string {
+	if e.checker == nil {
+		return nil
+	}
+	return e.checker.Flagged()
+}
+
+func (e *Engine) result() *Result {
+	res := &Result{Stats: e.stats, Supports: make(map[string]float64)}
+	for k := range e.byKey {
+		if e.agg.Answers(k) > 0 {
+			res.Supports[k] = e.agg.Support(k)
+		}
+	}
+	border := append([]*assign.Assignment{}, e.global.SignificantBorder()...)
+	if e.stopped {
+		border = border[:0]
+		for _, b := range e.global.SignificantBorder() {
+			if e.confirmed[b.Key()] {
+				border = append(border, b)
+			}
+		}
+	}
+	sort.Slice(border, func(i, j int) bool { return border[i].Key() < border[j].Key() })
+	res.MSPs = border
+	for _, b := range border {
+		if e.space.IsValid(b) {
+			res.ValidMSPs = append(res.ValidMSPs, b)
+		}
+	}
+	for _, a := range e.byKey {
+		if e.global.Status(a) == assign.Significant {
+			res.Significant = append(res.Significant, a)
+		}
+	}
+	sort.Slice(res.Significant, func(i, j int) bool {
+		return res.Significant[i].Key() < res.Significant[j].Key()
+	})
+	return res
+}

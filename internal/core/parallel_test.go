@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/paperdata"
+	"oassis/internal/synth"
+)
+
+// lockedMember wraps a SimMember with its own mutex and records concurrent
+// access, validating the one-goroutine-per-member guarantee.
+type lockedMember struct {
+	inner  *crowd.SimMember
+	mu     sync.Mutex
+	active bool
+	t      *testing.T
+}
+
+func (m *lockedMember) enter() {
+	m.mu.Lock()
+	if m.active {
+		m.t.Error("member served by two goroutines at once")
+	}
+	m.active = true
+	m.mu.Unlock()
+}
+
+func (m *lockedMember) leave() {
+	m.mu.Lock()
+	m.active = false
+	m.mu.Unlock()
+}
+
+func (m *lockedMember) ID() string { return m.inner.ID() }
+
+func (m *lockedMember) AskConcrete(fs ontology.FactSet) crowd.Response {
+	m.enter()
+	defer m.leave()
+	return m.inner.AskConcrete(fs)
+}
+
+func (m *lockedMember) AskSpecialize(base ontology.FactSet, cands []ontology.FactSet) (int, crowd.Response) {
+	m.enter()
+	defer m.leave()
+	return m.inner.AskSpecialize(base, cands)
+}
+
+// TestRunParallelMatchesSequential runs a domain crowd both ways: the
+// answer sets must agree (MSP keys), even though question order differs.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	build := func() (*synth.Domain, []crowd.Member) {
+		d, err := synth.NewDomain(synth.SelfTreatment(24, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, d.Members
+	}
+	d1, m1 := build()
+	seq := core.NewEngine(d1.Space, m1, core.EngineConfig{
+		Theta: 0.2, Aggregator: crowd.NewMeanAggregator(5, 0.2), Seed: 1,
+	}).Run()
+
+	d2, m2 := build()
+	wrapped := make([]crowd.Member, len(m2))
+	for i, m := range m2 {
+		wrapped[i] = &lockedMember{inner: m.(*crowd.SimMember), t: t}
+	}
+	par := core.NewEngine(d2.Space, wrapped, core.EngineConfig{
+		Theta: 0.2, Aggregator: crowd.NewMeanAggregator(5, 0.2), Seed: 1,
+	}).RunParallel(8)
+
+	// Answer-order differences can flip borderline aggregator decisions
+	// (different 5-member samples answer first), so require strong —
+	// not perfect — agreement on the MSP sets.
+	seqKeys := map[string]bool{}
+	for _, m := range seq.MSPs {
+		seqKeys[m.Key()] = true
+	}
+	common := 0
+	for _, m := range par.MSPs {
+		if seqKeys[m.Key()] {
+			common++
+		}
+	}
+	if len(seq.MSPs) == 0 || len(par.MSPs) == 0 {
+		t.Fatalf("degenerate runs: %d vs %d MSPs", len(seq.MSPs), len(par.MSPs))
+	}
+	if 2*common < len(seq.MSPs) {
+		t.Errorf("parallel run agrees on only %d of %d sequential MSPs",
+			common, len(seq.MSPs))
+	}
+	// Both must classify everything (no lost work).
+	if par.Stats.Questions == 0 {
+		t.Fatal("parallel run asked nothing")
+	}
+}
+
+// TestRunParallelSingleWorkerIsSequential: workers=1 must fall back to the
+// deterministic path.
+func TestRunParallelSingleWorkerIsSequential(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	du1, du2 := paperdata.Table3(v)
+	mk := func() []crowd.Member {
+		a := crowd.NewSimMember("u1", v, du1, 1)
+		a.Scale = nil
+		b := crowd.NewSimMember("u2", v, du2, 2)
+		b.Scale = nil
+		return []crowd.Member{a, b}
+	}
+	r1 := core.NewEngine(sp, mk(), core.EngineConfig{
+		Theta: 0.4, Aggregator: crowd.NewMeanAggregator(2, 0.4), Seed: 1,
+	}).RunParallel(1)
+	sp2, v2 := buildSpace(t, paperdata.SimpleQueryText, nil)
+	_ = v2
+	r2 := core.NewEngine(sp2, mk(), core.EngineConfig{
+		Theta: 0.4, Aggregator: crowd.NewMeanAggregator(2, 0.4), Seed: 1,
+	}).Run()
+	if r1.Stats.Questions != r2.Stats.Questions || len(r1.MSPs) != len(r2.MSPs) {
+		t.Fatal("workers=1 diverged from sequential Run")
+	}
+}
+
+// TestRunParallelPaperExample checks the ground-truth MSPs survive a
+// concurrent run of the running example.
+func TestRunParallelPaperExample(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	du1, du2 := paperdata.Table3(v)
+	m1 := crowd.NewSimMember("u1", v, du1, 1)
+	m1.Scale = nil
+	m2 := crowd.NewSimMember("u2", v, du2, 2)
+	m2.Scale = nil
+	res := core.NewEngine(sp, []crowd.Member{m1, m2}, core.EngineConfig{
+		Theta: 0.4, Aggregator: crowd.NewMeanAggregator(2, 0.4), Seed: 1,
+	}).RunParallel(2)
+	want := wantMSPs(t, sp, v)
+	if len(res.MSPs) != len(want) {
+		for _, m := range res.MSPs {
+			t.Logf("MSP: %s", m.String(v, sp.Kinds()))
+		}
+		t.Fatalf("parallel run found %d MSPs, want %d", len(res.MSPs), len(want))
+	}
+	for _, m := range res.MSPs {
+		if !want[m.Key()] {
+			t.Errorf("unexpected MSP %s", m.String(v, sp.Kinds()))
+		}
+	}
+}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"oassis/internal/assign"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// Strategy selects the question-ordering algorithm for a single-user run
+// (Section 6.4 compares the three).
+type Strategy uint8
+
+const (
+	// Vertical is Algorithm 1: top-down traversal that dives from each
+	// significant assignment to ever more specific ones.
+	Vertical Strategy = iota
+	// Horizontal is the Apriori-inspired levelwise baseline: an
+	// assignment is asked only after all its immediate predecessors are
+	// known significant.
+	Horizontal
+	// Naive asks randomly chosen valid assignments, with the same
+	// inference scheme.
+	Naive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Horizontal:
+		return "horizontal"
+	case Naive:
+		return "naive"
+	default:
+		return "vertical"
+	}
+}
+
+// SingleUser runs one mining strategy against a single crowd member
+// (Section 4.1; also the synthetic experiments of Section 6.4).
+type SingleUser struct {
+	Space    *assign.Space
+	Member   crowd.Member
+	Theta    float64
+	Strategy Strategy
+	// SpecializationRatio is the probability of replacing a round of
+	// concrete successor questions with one specialization question
+	// (vertical only; Figure 4f varies it).
+	SpecializationRatio float64
+	// Seed drives the run's randomness (question-type choice, naive
+	// order).
+	Seed int64
+	// Watch optionally lists ground-truth assignments whose
+	// classified-significant time should be recorded (used by the
+	// Figure 5 harness).
+	Watch []*assign.Assignment
+	// MaxMSPs stops the run once this many MSPs are confirmed (top-k).
+	MaxMSPs int
+	// OnMSP streams each confirmed MSP.
+	OnMSP func(*assign.Assignment)
+}
+
+// Run executes the strategy until the space is fully classified and returns
+// the mining result.
+func (r *SingleUser) Run() *Result {
+	s := newSession(r.Space, r.Theta, r.Watch)
+	s.rng = rand.New(rand.NewSource(r.Seed))
+	s.maxMSPs = r.MaxMSPs
+	s.onMSP = r.OnMSP
+	switch r.Strategy {
+	case Horizontal:
+		s.runHorizontal(r.Member)
+	case Naive:
+		s.runNaive(r.Member)
+	default:
+		s.runVertical(r.Member, r.SpecializationRatio)
+	}
+	return s.result()
+}
+
+// session holds the shared machinery of all strategies: the classifier, the
+// lazy successor cache, pruning state, statistics and MSP confirmation.
+type session struct {
+	space   *assign.Space
+	theta   float64
+	cls     *assign.Classifier
+	tracker *progressTracker
+	stats   Stats
+	rng     *rand.Rand
+
+	// byKey interns every materialized assignment.
+	byKey map[string]*assign.Assignment
+	// succs caches lazy successor generation per assignment key.
+	succs map[string][]*assign.Assignment
+
+	// prunedE holds element terms the user marked irrelevant.
+	prunedE map[vocab.TermID]bool
+
+	// watch lists ground-truth assignments; watchAt records the question
+	// count at which each became classified significant (-1 = never).
+	watch   []*assign.Assignment
+	watchAt []int
+
+	// supports records the member's answered support per assignment key.
+	supports map[string]float64
+
+	confirmed map[string]bool // assignments confirmed as MSPs
+	maxMSPs   int
+	onMSP     func(*assign.Assignment)
+	stopped   bool
+}
+
+func newSession(sp *assign.Space, theta float64, watch []*assign.Assignment) *session {
+	s := &session{
+		space:     sp,
+		theta:     theta,
+		cls:       assign.NewClassifier(sp),
+		tracker:   newProgressTracker(sp),
+		byKey:     make(map[string]*assign.Assignment),
+		succs:     make(map[string][]*assign.Assignment),
+		prunedE:   make(map[vocab.TermID]bool),
+		supports:  make(map[string]float64),
+		watch:     watch,
+		watchAt:   make([]int, len(watch)),
+		confirmed: make(map[string]bool),
+	}
+	for i := range s.watchAt {
+		s.watchAt[i] = -1
+	}
+	return s
+}
+
+// intern registers a materialized assignment for the laziness statistics.
+func (s *session) intern(a *assign.Assignment) *assign.Assignment {
+	if prev, ok := s.byKey[a.Key()]; ok {
+		return prev
+	}
+	s.byKey[a.Key()] = a
+	s.stats.Generated++
+	return a
+}
+
+// successors returns the cached lazy successors of a.
+func (s *session) successors(a *assign.Assignment) []*assign.Assignment {
+	if cached, ok := s.succs[a.Key()]; ok {
+		return cached
+	}
+	out := s.space.Successors(a)
+	for i, x := range out {
+		out[i] = s.intern(x)
+	}
+	s.succs[a.Key()] = out
+	return out
+}
+
+// roots returns the interned space roots.
+func (s *session) roots() []*assign.Assignment {
+	rs := s.space.Roots()
+	for i, r := range rs {
+		rs[i] = s.intern(r)
+	}
+	return rs
+}
+
+// pruned reports whether the user's pruning clicks cover the assignment: it
+// involves a pruned value or a more specific one.
+func (s *session) pruned(a *assign.Assignment) bool {
+	if len(s.prunedE) == 0 {
+		return false
+	}
+	v := s.space.Vocabulary()
+	for _, vs := range s.space.Vars() {
+		if vs.Kind != vocab.Element {
+			continue
+		}
+		for _, val := range a.Values(vs.Name) {
+			for p := range s.prunedE {
+				if v.LeqE(p, val) {
+					return true
+				}
+			}
+		}
+	}
+	for _, f := range a.More() {
+		for p := range s.prunedE {
+			if (f.S != ontology.Any && v.LeqE(p, f.S)) ||
+				(f.O != ontology.Any && v.LeqE(p, f.O)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markSignificant records a significant classification and its side effects.
+func (s *session) markSignificant(a *assign.Assignment) {
+	if s.cls.Status(a) == assign.Significant {
+		return
+	}
+	s.cls.MarkSignificant(a)
+	s.tracker.onMark(a, true)
+	for i, w := range s.watch {
+		if s.watchAt[i] < 0 && s.space.Leq(w, a) {
+			s.watchAt[i] = s.stats.Questions
+		}
+	}
+	s.checkConfirmations()
+}
+
+// markInsignificant records an insignificant classification.
+func (s *session) markInsignificant(a *assign.Assignment) {
+	if s.cls.Status(a) == assign.Insignificant {
+		return
+	}
+	s.cls.MarkInsignificant(a)
+	s.tracker.onMark(a, false)
+	s.checkConfirmations()
+}
+
+// checkConfirmations promotes significant-border members all of whose
+// successors are classified insignificant to confirmed MSPs.
+func (s *session) checkConfirmations() {
+	for _, b := range s.cls.SignificantBorder() {
+		if s.confirmed[b.Key()] {
+			continue
+		}
+		done := true
+		for _, succ := range s.successors(b) {
+			if s.cls.Status(succ) != assign.Insignificant {
+				done = false
+				break
+			}
+		}
+		if done {
+			s.confirmed[b.Key()] = true
+			s.tracker.onMSP(b)
+			if s.onMSP != nil {
+				s.onMSP(b)
+			}
+			if s.maxMSPs > 0 && len(s.confirmed) >= s.maxMSPs {
+				s.stopped = true
+			}
+		}
+	}
+}
+
+// askConcrete poses one concrete question and classifies the assignment.
+// It returns true when the member's support meets the threshold. Pruned
+// assignments are auto-answered without a question.
+func (s *session) askConcrete(m crowd.Member, a *assign.Assignment) bool {
+	if s.pruned(a) {
+		s.stats.AutoAnswers++
+		s.markInsignificant(a)
+		return false
+	}
+	resp := m.AskConcrete(s.space.Instantiate(a))
+	s.stats.Questions++
+	s.stats.ConcreteQ++
+	if len(resp.Pruned) > 0 {
+		s.stats.PruneClicks++
+		for _, t := range resp.Pruned {
+			s.prunedE[t] = true
+		}
+	}
+	s.supports[a.Key()] = resp.Support
+	sig := resp.Support >= s.theta
+	if sig {
+		s.markSignificant(a)
+	} else {
+		s.markInsignificant(a)
+	}
+	s.tracker.sample(&s.stats)
+	return sig
+}
+
+// unclassifiedSuccessors filters the successors of a to the ones the
+// classifier cannot decide yet, auto-answering pruned ones.
+func (s *session) unclassifiedSuccessors(a *assign.Assignment) []*assign.Assignment {
+	var out []*assign.Assignment
+	for _, succ := range s.successors(a) {
+		if s.cls.Status(succ) != assign.Unknown {
+			continue
+		}
+		if s.pruned(succ) {
+			s.stats.AutoAnswers++
+			s.markInsignificant(succ)
+			continue
+		}
+		out = append(out, succ)
+	}
+	return out
+}
+
+// runVertical is Algorithm 1 with the lazy generation of Section 5 and the
+// optional specialization questions of Section 4.1.
+func (s *session) runVertical(m crowd.Member, specRatio float64) {
+	for !s.stopped {
+		phi := s.minimalUnclassified()
+		if phi == nil {
+			return
+		}
+		if !s.askConcrete(m, phi) {
+			continue
+		}
+		cur := phi
+		for !s.stopped {
+			open := s.unclassifiedSuccessors(cur)
+			if len(open) == 0 {
+				break
+			}
+			if specRatio > 0 && len(open) > 1 && s.rng.Float64() < specRatio {
+				if next, ok := s.askSpecialization(m, cur, open); ok {
+					cur = next
+				}
+				continue
+			}
+			if s.askConcrete(m, open[0]) {
+				cur = open[0]
+			}
+		}
+	}
+}
+
+// askSpecialization poses one specialization question over the open
+// successors. It returns the chosen significant successor, if any.
+func (s *session) askSpecialization(m crowd.Member, base *assign.Assignment, open []*assign.Assignment) (*assign.Assignment, bool) {
+	cands := make([]ontology.FactSet, len(open))
+	for i, o := range open {
+		cands[i] = s.space.Instantiate(o)
+	}
+	idx, resp := m.AskSpecialize(s.space.Instantiate(base), cands)
+	s.stats.Questions++
+	s.stats.SpecialQ++
+	if idx < 0 {
+		// "None of these": support 0 for every proposed successor at
+		// the cost of a single question (Section 6.2).
+		s.stats.NoneOfThese++
+		s.stats.AutoAnswers += len(open) - 1
+		for _, o := range open {
+			s.markInsignificant(o)
+		}
+		s.tracker.sample(&s.stats)
+		return nil, false
+	}
+	chosen := open[idx]
+	s.supports[chosen.Key()] = resp.Support
+	sig := resp.Support >= s.theta
+	if sig {
+		s.markSignificant(chosen)
+	} else {
+		s.markInsignificant(chosen)
+	}
+	s.tracker.sample(&s.stats)
+	return chosen, sig
+}
+
+// minimalUnclassified descends from the roots through significant
+// assignments to the first unclassified one (the outer-loop pick of
+// Algorithm 1, in the refined start-at-the-top form of Section 4.2).
+func (s *session) minimalUnclassified() *assign.Assignment {
+	queue := s.roots()
+	seen := make(map[string]bool, len(queue))
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		if seen[a.Key()] {
+			continue
+		}
+		seen[a.Key()] = true
+		switch s.cls.Status(a) {
+		case assign.Unknown:
+			if s.pruned(a) {
+				s.stats.AutoAnswers++
+				s.markInsignificant(a)
+				continue
+			}
+			return a
+		case assign.Significant:
+			queue = append(queue, s.successors(a)...)
+		}
+	}
+	return nil
+}
+
+// runHorizontal processes assignments levelwise by ascending depth, asking
+// an assignment only when every immediate predecessor is significant.
+func (s *session) runHorizontal(m crowd.Member) {
+	type item struct {
+		a     *assign.Assignment
+		depth int
+	}
+	var heap []item
+	push := func(a *assign.Assignment) {
+		heap = append(heap, item{a: a, depth: s.depthOf(a)})
+		sort.SliceStable(heap, func(i, j int) bool {
+			if heap[i].depth != heap[j].depth {
+				return heap[i].depth < heap[j].depth
+			}
+			return heap[i].a.Key() < heap[j].a.Key()
+		})
+	}
+	seen := map[string]bool{}
+	for _, r := range s.roots() {
+		if !seen[r.Key()] {
+			seen[r.Key()] = true
+			push(r)
+		}
+	}
+	for len(heap) > 0 && !s.stopped {
+		a := heap[0].a
+		heap = heap[1:]
+		st := s.cls.Status(a)
+		if st == assign.Insignificant {
+			continue
+		}
+		if st == assign.Unknown {
+			if !s.allPredecessorsSignificant(a) {
+				continue
+			}
+			if !s.askConcrete(m, a) {
+				continue
+			}
+		}
+		for _, succ := range s.successors(a) {
+			if !seen[succ.Key()] {
+				seen[succ.Key()] = true
+				push(succ)
+			}
+		}
+	}
+}
+
+// depthOf is a level measure for the levelwise traversal: the summed
+// vocabulary depths of all values and MORE-fact components, plus a large
+// constant per value/fact. Specialization and extension edges increase it;
+// the one exception is multiplicity absorption (specializing a value so
+// that it swallows a sibling), which the traversal's deferral loop absorbs.
+func (s *session) depthOf(a *assign.Assignment) int {
+	v := s.space.Vocabulary()
+	elemDepth := func(id vocab.TermID) int {
+		if id == ontology.Any {
+			return 0
+		}
+		return v.ElementDepth(id)
+	}
+	d := 0
+	for _, f := range a.More() {
+		d += 1000 + elemDepth(f.S) + elemDepth(f.O)
+		if f.P != ontology.Any {
+			d += v.RelationDepth(f.P)
+		}
+	}
+	for _, vs := range s.space.Vars() {
+		for _, val := range a.Values(vs.Name) {
+			if vs.Kind == vocab.Element {
+				d += v.ElementDepth(val) + 100
+			} else {
+				d += v.RelationDepth(val) + 100
+			}
+		}
+	}
+	return d
+}
+
+func (s *session) allPredecessorsSignificant(a *assign.Assignment) bool {
+	for _, p := range s.space.Predecessors(a) {
+		if s.cls.Status(p) != assign.Significant {
+			return false
+		}
+	}
+	return true
+}
+
+// runNaive asks randomly ordered valid assignments, reusing the inference
+// scheme.
+func (s *session) runNaive(m crowd.Member) {
+	order := make([]*assign.Assignment, len(s.space.Valid()))
+	copy(order, s.space.Valid())
+	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, a := range order {
+		if s.stopped {
+			break
+		}
+		a = s.intern(a)
+		if s.cls.Status(a) != assign.Unknown {
+			continue
+		}
+		s.askConcrete(m, a)
+	}
+}
+
+// result finalizes the run.
+func (s *session) result() *Result {
+	res := &Result{Stats: s.stats, Supports: s.supports}
+	res.Stats.WatchDiscoveredAt = s.watchAt
+	border := append([]*assign.Assignment{}, s.cls.SignificantBorder()...)
+	if s.stopped {
+		border = border[:0]
+		for _, b := range s.cls.SignificantBorder() {
+			if s.confirmed[b.Key()] {
+				border = append(border, b)
+			}
+		}
+	}
+	sort.Slice(border, func(i, j int) bool { return border[i].Key() < border[j].Key() })
+	res.MSPs = border
+	for _, b := range border {
+		if s.space.IsValid(b) {
+			res.ValidMSPs = append(res.ValidMSPs, b)
+		}
+	}
+	for _, a := range s.byKey {
+		if s.cls.Status(a) == assign.Significant {
+			res.Significant = append(res.Significant, a)
+		}
+	}
+	sort.Slice(res.Significant, func(i, j int) bool {
+		return res.Significant[i].Key() < res.Significant[j].Key()
+	})
+	return res
+}

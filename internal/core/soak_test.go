@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/paperdata"
+	"oassis/internal/synth"
+	"oassis/internal/vocab"
+)
+
+// fsAlias keeps the recorder's signatures compact.
+type fsAlias = ontology.FactSet
+
+// leqStrict reports a strict fact-set specialization.
+func leqStrict(v *vocab.Vocabulary, a, b ontology.FactSet) bool {
+	return ontology.LeqFactSet(v, a, b) && !a.Equal(b)
+}
+
+// TestSoakRandomDomains drives the multi-user engine across a spread of
+// randomly-shaped domains and checks the structural invariants that must
+// hold for every run: termination, MSP antichain, MSPs significant and
+// confirmed by recorded supports, progress monotone.
+func TestSoakRandomDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 6; trial++ {
+		cfg := synth.DomainConfig{
+			Name:          "soak",
+			SubjectBranch: []int{2 + rng.Intn(3), 2 + rng.Intn(3)},
+			ObjectBranch:  []int{2 + rng.Intn(3)},
+			Relation:      "rel",
+			Multiplicity:  rng.Intn(2) == 0,
+			Patterns:      3 + rng.Intn(5),
+			Members:       6 + rng.Intn(10),
+			Transactions:  20,
+			Seed:          rng.Int63(),
+		}
+		d, err := synth.NewDomain(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		theta := d.Query.Satisfying.Support
+		eng := core.NewEngine(d.Space, d.Members, core.EngineConfig{
+			Theta:               theta,
+			Aggregator:          crowd.NewMeanAggregator(3, theta),
+			SpecializationRatio: 0.15,
+			Seed:                int64(trial),
+		})
+		res := eng.Run()
+
+		// MSPs form an antichain.
+		for i, a := range res.MSPs {
+			for j, b := range res.MSPs {
+				if i != j && d.Space.Leq(a, b) {
+					t.Fatalf("trial %d: MSP set not an antichain", trial)
+				}
+			}
+		}
+		// Valid MSPs are valid; non-valid ones are not.
+		validSet := map[string]bool{}
+		for _, m := range res.ValidMSPs {
+			validSet[m.Key()] = true
+			if !d.Space.IsValid(m) {
+				t.Fatalf("trial %d: ValidMSPs contains an invalid assignment", trial)
+			}
+		}
+		for _, m := range res.MSPs {
+			if d.Space.IsValid(m) != validSet[m.Key()] {
+				t.Fatalf("trial %d: MSP validity flag disagrees", trial)
+			}
+		}
+		// Directly-answered MSPs meet the threshold.
+		for _, m := range res.MSPs {
+			if s, ok := res.SupportOf(m); ok && s < theta {
+				t.Fatalf("trial %d: MSP support %v below theta %v", trial, s, theta)
+			}
+		}
+		// Progress is monotone and the counters end consistent.
+		var prev core.ProgressPoint
+		for i, p := range res.Stats.Progress {
+			if i > 0 && (p.Questions < prev.Questions || p.MSPs < prev.MSPs ||
+				p.ClassifiedValid < prev.ClassifiedValid) {
+				t.Fatalf("trial %d: progress not monotone", trial)
+			}
+			prev = p
+		}
+		if res.Stats.Questions == 0 {
+			t.Fatalf("trial %d: no questions asked", trial)
+		}
+	}
+}
+
+// TestModificationFour pins the Section 4.2 descent rule: a member only
+// dives below assignments they answered "yes" to. With an aggregator that
+// can never decide (quota above the crowd size), nothing becomes globally
+// classified, so every non-root question a member receives must be a
+// specialization of some fact-set they previously answered at or above the
+// threshold.
+func TestModificationFour(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	du1, du2 := paperdata.Table3(v)
+
+	// recordingMember logs every question it receives.
+	base := crowd.NewSimMember("u1", v, du1, 1)
+	base.Scale = nil
+	rec := &recordingMember{inner: base}
+	m2 := crowd.NewSimMember("u2", v, du2, 2)
+	m2.Scale = nil
+
+	eng := core.NewEngine(sp, []crowd.Member{rec, m2}, core.EngineConfig{
+		Theta:      0.4,
+		Aggregator: crowd.NewMeanAggregator(5, 0.4), // never reaches quota
+		Seed:       1,
+	})
+	_ = eng.Run()
+
+	if len(rec.asked) == 0 {
+		t.Fatal("recorder saw no questions")
+	}
+	roots := sp.Roots()
+	rootFS := make([]fsAlias, len(roots))
+	for i, r := range roots {
+		rootFS[i] = sp.Instantiate(r)
+	}
+	for i, fs := range rec.asked {
+		isRoot := false
+		for _, rf := range rootFS {
+			if fs.Equal(rf) {
+				isRoot = true
+			}
+		}
+		if isRoot {
+			continue
+		}
+		// Some earlier yes must generalize this question.
+		ok := false
+		for j := 0; j < i; j++ {
+			if rec.supports[j] >= 0.4 && leqStrict(v, rec.asked[j], fs) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("question %d (%s) has no earlier personal yes above it",
+				i, fs.String(v))
+		}
+	}
+}
+
+type recordingMember struct {
+	inner    *crowd.SimMember
+	asked    []fsAlias
+	supports []float64
+}
+
+func (r *recordingMember) ID() string { return r.inner.ID() }
+
+func (r *recordingMember) AskConcrete(fs fsAlias) crowd.Response {
+	resp := r.inner.AskConcrete(fs)
+	r.asked = append(r.asked, fs)
+	r.supports = append(r.supports, resp.Support)
+	return resp
+}
+
+func (r *recordingMember) AskSpecialize(base fsAlias, cands []fsAlias) (int, crowd.Response) {
+	idx, resp := r.inner.AskSpecialize(base, cands)
+	if idx >= 0 {
+		r.asked = append(r.asked, cands[idx])
+		r.supports = append(r.supports, resp.Support)
+	}
+	return idx, resp
+}

@@ -1,0 +1,146 @@
+// Package core implements the OASSIS query evaluation engine: the vertical
+// algorithm of Section 4.1 (Algorithm 1), the multi-user evaluation of
+// Section 4.2 with a pluggable black-box aggregator, the horizontal
+// (Apriori-style) and naive baselines of Section 6.4, and the CrowdCache
+// answer store that supports threshold re-evaluation (Section 6.3).
+package core
+
+import (
+	"oassis/internal/assign"
+)
+
+// QuestionKind distinguishes the interaction types of Sections 4.1 and 6.2.
+type QuestionKind uint8
+
+const (
+	// Concrete asks for the support of one fact-set.
+	Concrete QuestionKind = iota
+	// Specialization asks the member to pick a significant refinement.
+	Specialization
+)
+
+// Stats aggregates the cost measures the paper reports.
+type Stats struct {
+	// Questions is the total number of questions posed, including
+	// repetitions across crowd members (Section 6.3's #questions).
+	Questions int
+	// ConcreteQ and SpecialQ split Questions by kind.
+	ConcreteQ int
+	SpecialQ  int
+	// NoneOfThese counts specialization questions answered "none of
+	// these" (each still counts once in Questions).
+	NoneOfThese int
+	// PruneClicks counts user-guided pruning interactions.
+	PruneClicks int
+	// AutoAnswers counts answers inferred at no user cost (pruned values
+	// and none-of-these fan-outs).
+	AutoAnswers int
+	// Generated counts assignments materialized by the lazy generator;
+	// comparing against the eager DAG size measures the Section 6.4
+	// laziness claim.
+	Generated int
+
+	// Progress samples one point per question for the pace-of-collection
+	// curves (Figures 4d–4e).
+	Progress []ProgressPoint
+
+	// WatchDiscoveredAt records, for each watched ground-truth
+	// assignment (see the runners' Watch option), the question count at
+	// which it was classified significant; -1 means never.
+	WatchDiscoveredAt []int
+}
+
+// ProgressPoint is one sample of the pace-of-data-collection curves: the
+// state after the Questions-th question.
+type ProgressPoint struct {
+	Questions       int
+	ClassifiedValid int // valid assignments classified either way
+	MSPs            int // confirmed overall MSPs
+	ValidMSPs       int // confirmed overall MSPs that are valid
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// MSPs are the maximal significant patterns among all explored
+	// assignments (the set M of Algorithm 1).
+	MSPs []*assign.Assignment
+	// ValidMSPs is M ∩ 𝒜valid, the query's default output.
+	ValidMSPs []*assign.Assignment
+	// Significant lists every explored assignment classified significant
+	// (returned when the query says SELECT ... ALL).
+	Significant []*assign.Assignment
+	// Supports maps assignment keys to their aggregated crowd support,
+	// for every assignment that received answers. Downstream analyses
+	// (association-rule confidence, ranking) read from here.
+	Supports map[string]float64
+	Stats    Stats
+}
+
+// SupportOf returns the aggregated support recorded for an assignment
+// (0, false when it was classified purely by inference).
+func (r *Result) SupportOf(a *assign.Assignment) (float64, bool) {
+	s, ok := r.Supports[a.Key()]
+	return s, ok
+}
+
+// progressTracker incrementally maintains the counters behind
+// Stats.Progress.
+type progressTracker struct {
+	space           *assign.Space
+	unclassifiedVal []*assign.Assignment
+	classifiedValid int
+	mspSeen         map[string]bool
+	validMSPSeen    map[string]bool
+}
+
+func newProgressTracker(sp *assign.Space) *progressTracker {
+	t := &progressTracker{
+		space:        sp,
+		mspSeen:      make(map[string]bool),
+		validMSPSeen: make(map[string]bool),
+	}
+	t.unclassifiedVal = append(t.unclassifiedVal, sp.Valid()...)
+	return t
+}
+
+// onMark updates the classified-valid counter after a border change. sig
+// says which border grew; a is the newly marked assignment.
+func (t *progressTracker) onMark(a *assign.Assignment, sig bool) {
+	rest := t.unclassifiedVal[:0]
+	for _, psi := range t.unclassifiedVal {
+		var classified bool
+		if sig {
+			classified = t.space.Leq(psi, a)
+		} else {
+			classified = t.space.Leq(a, psi)
+		}
+		if classified {
+			t.classifiedValid++
+		} else {
+			rest = append(rest, psi)
+		}
+	}
+	t.unclassifiedVal = rest
+}
+
+// onMSP records a confirmed MSP (idempotent).
+func (t *progressTracker) onMSP(a *assign.Assignment) {
+	k := a.Key()
+	if t.mspSeen[k] {
+		return
+	}
+	t.mspSeen[k] = true
+	if t.space.IsValid(a) {
+		t.validMSPSeen[k] = true
+	}
+}
+
+// sample appends one progress point for the given question count.
+func (t *progressTracker) sample(s *Stats) {
+	s.Progress = append(s.Progress, ProgressPoint{
+		Questions:       s.Questions,
+		ClassifiedValid: t.classifiedValid,
+		MSPs:            len(t.mspSeen),
+		ValidMSPs:       len(t.validMSPSeen),
+	})
+}

@@ -1,0 +1,97 @@
+package crowd
+
+import (
+	"sort"
+
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// ConsistencyChecker implements the spammer filter of Section 4.2 ("Crowd
+// member selection"): within one member's answers, the support of a more
+// specific fact-set can never exceed the support of a more general one. The
+// checker records each member's (fact-set, support) answers and counts
+// violations of this monotonicity, allowing small tolerance for the noise
+// of a cooperative member.
+type ConsistencyChecker struct {
+	v *vocab.Vocabulary
+	// Tolerance is the slack allowed before a pair counts as a
+	// violation. Honest answers are monotone even after bucketing (the
+	// scale is a monotone map), so the default allows only sub-step
+	// noise; tolerance for occasional full-step inversions comes from
+	// MaxViolationRate instead.
+	Tolerance float64
+	// MaxViolationRate is the violation fraction above which a member is
+	// flagged as a spammer.
+	MaxViolationRate float64
+
+	answers map[string][]recorded
+	pairs   map[string]int // comparable pairs seen per member
+	bad     map[string]int // violating pairs per member
+}
+
+type recorded struct {
+	fs      ontology.FactSet
+	support float64
+}
+
+// NewConsistencyChecker builds a checker with the defaults discussed above.
+func NewConsistencyChecker(v *vocab.Vocabulary) *ConsistencyChecker {
+	return &ConsistencyChecker{
+		v:                v,
+		Tolerance:        0.1,
+		MaxViolationRate: 0.25,
+		answers:          make(map[string][]recorded),
+		pairs:            make(map[string]int),
+		bad:              make(map[string]int),
+	}
+}
+
+// Record adds one answer and updates the member's violation statistics
+// against all their previous answers.
+func (c *ConsistencyChecker) Record(memberID string, fs ontology.FactSet, support float64) {
+	for _, prev := range c.answers[memberID] {
+		switch {
+		case ontology.LeqFactSet(c.v, prev.fs, fs):
+			// prev is more general: supp(prev) ≥ supp(fs) expected.
+			c.pairs[memberID]++
+			if support > prev.support+c.Tolerance {
+				c.bad[memberID]++
+			}
+		case ontology.LeqFactSet(c.v, fs, prev.fs):
+			c.pairs[memberID]++
+			if prev.support > support+c.Tolerance {
+				c.bad[memberID]++
+			}
+		}
+	}
+	c.answers[memberID] = append(c.answers[memberID], recorded{fs: fs, support: support})
+}
+
+// ViolationRate returns the member's fraction of violating comparable pairs
+// (0 when no comparable pairs were seen).
+func (c *ConsistencyChecker) ViolationRate(memberID string) float64 {
+	p := c.pairs[memberID]
+	if p == 0 {
+		return 0
+	}
+	return float64(c.bad[memberID]) / float64(p)
+}
+
+// IsSpammer flags members whose violation rate exceeds the maximum, given at
+// least a handful of comparable pairs to judge from.
+func (c *ConsistencyChecker) IsSpammer(memberID string) bool {
+	return c.pairs[memberID] >= 4 && c.ViolationRate(memberID) > c.MaxViolationRate
+}
+
+// Flagged returns all members currently flagged, sorted by ID.
+func (c *ConsistencyChecker) Flagged() []string {
+	var out []string
+	for id := range c.answers {
+		if c.IsSpammer(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,275 @@
+package crowd_test
+
+import (
+	"math"
+	"testing"
+
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/paperdata"
+)
+
+func TestBucketSupport(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {0.1, 0}, {0.13, 0.25}, {0.3, 0.25}, {0.4, 0.5},
+		{0.55, 0.5}, {0.7, 0.75}, {0.9, 1}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := crowd.BucketSupport(c.in, crowd.UIScale); got != c.want {
+			t.Errorf("BucketSupport(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// nil scale means exact answers.
+	if got := crowd.BucketSupport(0.37, nil); got != 0.37 {
+		t.Errorf("exact scale changed the answer: %v", got)
+	}
+}
+
+func TestSimMemberConcrete(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	m := crowd.NewSimMember("u1", v, du1, 1)
+	m.Scale = nil // exact
+	fs := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+	resp := m.AskConcrete(fs)
+	if resp.Support != 1.0/3.0 {
+		t.Errorf("support = %v, want 1/3 (T3, T4 of 6)", resp.Support)
+	}
+	// Bucketed answer.
+	m.Scale = crowd.UIScale
+	resp = m.AskConcrete(fs)
+	if resp.Support != 0.25 {
+		t.Errorf("bucketed support = %v, want 0.25", resp.Support)
+	}
+}
+
+func TestSimMemberSpecialize(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	m := crowd.NewSimMember("u1", v, du1, 1)
+	m.Scale = nil
+	base := ontology.NewFactSet(paperdata.Fact(v, "Sport", "doAt", "Central Park"))
+	candidates := []ontology.FactSet{
+		ontology.NewFactSet(paperdata.Fact(v, "Swimming", "doAt", "Central Park")), // support 0
+		ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park")),   // support 2/6
+		ontology.NewFactSet(paperdata.Fact(v, "Baseball", "doAt", "Central Park")), // support 1/6
+	}
+	idx, resp := m.AskSpecialize(base, candidates)
+	if idx != 1 {
+		t.Fatalf("chose candidate %d, want 1 (Biking, the most frequent)", idx)
+	}
+	if resp.Support != 1.0/3.0 {
+		t.Errorf("support = %v, want 1/3", resp.Support)
+	}
+	// None of these.
+	idx, _ = m.AskSpecialize(base, []ontology.FactSet{
+		ontology.NewFactSet(paperdata.Fact(v, "Swimming", "doAt", "Central Park")),
+	})
+	if idx != -1 {
+		t.Errorf("expected none-of-these, got %d", idx)
+	}
+}
+
+func TestSimMemberPruning(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	m := crowd.NewSimMember("u1", v, du1, 1)
+	m.PruneRatio = 1 // always prune when possible
+	// u1 never swims: Swimming is irrelevant for them.
+	fs := ontology.NewFactSet(paperdata.Fact(v, "Swimming", "doAt", "Central Park"))
+	resp := m.AskConcrete(fs)
+	if resp.Support != 0 {
+		t.Fatalf("support = %v, want 0", resp.Support)
+	}
+	if len(resp.Pruned) != 1 || resp.Pruned[0] != v.Element("Swimming") {
+		t.Fatalf("Pruned = %v, want [Swimming]", resp.Pruned)
+	}
+	// Terms the member does engage with are never pruned, even at
+	// support 0 for the combination.
+	fs2 := ontology.NewFactSet(
+		paperdata.Fact(v, "Basketball", "doAt", "Central Park"),
+		paperdata.Fact(v, "Pasta", "eatAt", "Pine"),
+	)
+	resp2 := m.AskConcrete(fs2)
+	if resp2.Support != 0 {
+		t.Fatalf("support = %v, want 0 (no transaction combines them)", resp2.Support)
+	}
+	if len(resp2.Pruned) != 0 {
+		t.Fatalf("relevant terms pruned: %v", resp2.Pruned)
+	}
+}
+
+func TestSimMemberPruneRatioZero(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	m := crowd.NewSimMember("u1", v, du1, 1)
+	m.PruneRatio = 0
+	fs := ontology.NewFactSet(paperdata.Fact(v, "Swimming", "doAt", "Central Park"))
+	for i := 0; i < 10; i++ {
+		if resp := m.AskConcrete(fs); len(resp.Pruned) != 0 {
+			t.Fatal("pruning with ratio 0")
+		}
+	}
+}
+
+func TestMeanAggregator(t *testing.T) {
+	a := crowd.NewMeanAggregator(3, 0.4)
+	key := "k"
+	a.Add(key, "u1", 0.5)
+	a.Add(key, "u2", 0.25)
+	if a.Decide(key) != crowd.Undecided {
+		t.Fatal("should be undecided with 2 of 3 answers")
+	}
+	a.Add(key, "u3", 0.5)
+	if a.Decide(key) != crowd.OverallSignificant {
+		t.Fatalf("mean %.3f ≥ 0.4 should be significant", a.Support(key))
+	}
+	if a.Answers(key) != 3 {
+		t.Errorf("Answers = %d", a.Answers(key))
+	}
+	// A different assignment stays independent.
+	a.Add("other", "u1", 0)
+	a.Add("other", "u2", 0)
+	a.Add("other", "u3", 0.25)
+	if a.Decide("other") != crowd.OverallInsignificant {
+		t.Error("low mean should be insignificant")
+	}
+}
+
+func TestMeanAggregatorReplacesDuplicateMember(t *testing.T) {
+	a := crowd.NewMeanAggregator(2, 0.4)
+	a.Add("k", "u1", 0)
+	a.Add("k", "u1", 1) // replaces, does not add
+	if a.Answers("k") != 1 {
+		t.Fatalf("Answers = %d, want 1", a.Answers("k"))
+	}
+	if a.Support("k") != 1 {
+		t.Fatalf("Support = %v, want 1", a.Support("k"))
+	}
+}
+
+func TestMajorityAggregator(t *testing.T) {
+	a := crowd.NewMajorityAggregator(3, 0.5)
+	a.Add("k", "u1", 0.75) // yes
+	a.Add("k", "u2", 0.25) // no
+	if a.Decide("k") != crowd.Undecided {
+		t.Fatal("undecided with 2 of 3")
+	}
+	a.Add("k", "u3", 0.5) // yes
+	if a.Decide("k") != crowd.OverallSignificant {
+		t.Fatal("2 of 3 yes should be significant")
+	}
+	a.Add("t", "u1", 0.25)
+	a.Add("t", "u2", 0.75)
+	a.Add("t", "u3", 0.25)
+	if a.Decide("t") != crowd.OverallInsignificant {
+		t.Fatal("1 of 3 yes should be insignificant")
+	}
+}
+
+func TestTrustWeightedAggregator(t *testing.T) {
+	a := crowd.NewTrustWeightedAggregator(2, 0.4)
+	a.Add("k", "honest", 0.5)
+	a.Add("k", "spammer", 1.0)
+	if a.Decide("k") != crowd.OverallSignificant {
+		t.Fatal("unweighted mean 0.75 should be significant")
+	}
+	// Distrust the spammer entirely: only one trusted answer remains.
+	a.SetTrust("spammer", 0)
+	if a.Decide("k") != crowd.Undecided {
+		t.Fatalf("with the spammer at weight 0 only 1 trusted answer remains, got %v",
+			a.Decide("k"))
+	}
+	a.Add("k", "honest2", 0.25)
+	if got := a.Support("k"); math.Abs(got-0.375) > 1e-12 {
+		t.Fatalf("trust-weighted support = %v, want 0.375", got)
+	}
+	if a.Decide("k") != crowd.OverallInsignificant {
+		t.Fatal("trusted mean 0.375 < 0.4 should be insignificant")
+	}
+}
+
+func TestConsistencyChecker(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := crowd.NewConsistencyChecker(v)
+	general := ontology.NewFactSet(paperdata.Fact(v, "Sport", "doAt", "Central Park"))
+	specific := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+	other := ontology.NewFactSet(paperdata.Fact(v, "Pasta", "eatAt", "Pine"))
+
+	// Honest member: monotone answers.
+	c.Record("honest", general, 0.75)
+	c.Record("honest", specific, 0.5)
+	c.Record("honest", other, 0.25)
+	if c.IsSpammer("honest") {
+		t.Fatal("honest member flagged")
+	}
+	if c.ViolationRate("honest") != 0 {
+		t.Fatalf("honest violation rate = %v", c.ViolationRate("honest"))
+	}
+
+	// Inconsistent member: specific much more frequent than general,
+	// repeatedly.
+	pairs := []struct {
+		gen, spec float64
+	}{{0, 1}, {0, 1}, {0.25, 1}, {0, 0.75}}
+	for i, p := range pairs {
+		gfs := ontology.NewFactSet(paperdata.Fact(v, "Sport", "doAt", "Central Park"))
+		sfs := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+		_ = i
+		c.Record("bad", gfs, p.gen)
+		c.Record("bad", sfs, p.spec)
+	}
+	if !c.IsSpammer("bad") {
+		t.Fatalf("inconsistent member not flagged (rate %v)", c.ViolationRate("bad"))
+	}
+	flagged := c.Flagged()
+	if len(flagged) != 1 || flagged[0] != "bad" {
+		t.Fatalf("Flagged = %v", flagged)
+	}
+}
+
+func TestConsistencyToleranceAllowsNoise(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := crowd.NewConsistencyChecker(v)
+	general := ontology.NewFactSet(paperdata.Fact(v, "Sport", "doAt", "Central Park"))
+	specific := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+	// A cooperative member with mostly monotone answers and one
+	// occasional one-step inversion stays below the violation-rate bar.
+	for i := 0; i < 5; i++ {
+		c.Record("noisy", general, 0.5)
+		if i == 2 {
+			c.Record("noisy", specific, 0.75) // the lone slip
+		} else {
+			c.Record("noisy", specific, 0.25)
+		}
+	}
+	if rate := c.ViolationRate("noisy"); rate == 0 {
+		t.Fatal("the slip should register as a violation")
+	}
+	if c.IsSpammer("noisy") {
+		t.Fatalf("occasional one-step noise should be tolerated (rate %.2f)",
+			c.ViolationRate("noisy"))
+	}
+}
+
+func TestSpammerMember(t *testing.T) {
+	v, _ := paperdata.Build()
+	s := crowd.NewSpammer("sp", 7)
+	fs := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+	// Answers are on the UI scale.
+	for i := 0; i < 20; i++ {
+		r := s.AskConcrete(fs)
+		ok := false
+		for _, v := range crowd.UIScale {
+			if r.Support == v {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("spammer answered off-scale: %v", r.Support)
+		}
+	}
+	if s.ID() != "sp" {
+		t.Error("ID mismatch")
+	}
+}

@@ -1,0 +1,88 @@
+package crowd_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/paperdata"
+)
+
+func TestLoadCrowd(t *testing.T) {
+	v, _ := paperdata.Build()
+	text := `
+# two members from Table 3 (abridged)
+member u1
+Basketball doAt "Central Park" . Falafel eatAt "Maoz Veg."
+"Feed a monkey" doAt "Bronx Zoo"
+member u2
+Baseball doAt "Central Park" . Biking doAt "Central Park"
+`
+	members, err := crowd.LoadCrowd(strings.NewReader(text), v, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("members = %d", len(members))
+	}
+	if members[0].ID() != "u1" || members[1].ID() != "u2" {
+		t.Fatalf("ids = %s, %s", members[0].ID(), members[1].ID())
+	}
+	if len(members[0].DB()) != 2 || len(members[1].DB()) != 1 {
+		t.Fatalf("db sizes = %d, %d", len(members[0].DB()), len(members[1].DB()))
+	}
+	fs := ontology.NewFactSet(paperdata.Fact(v, "Basketball", "doAt", "Central Park"))
+	if got := members[0].TrueSupport(fs); got != 0.5 {
+		t.Errorf("support = %v, want 1/2", got)
+	}
+}
+
+func TestLoadCrowdErrors(t *testing.T) {
+	v, _ := paperdata.Build()
+	cases := map[string]string{
+		"transaction before member": "Basketball doAt \"Central Park\"\n",
+		"empty member id":           "member \n",
+		"unknown element":           "member u\nNothing doAt \"Central Park\"\n",
+		"unknown relation":          "member u\nBasketball flysTo \"Central Park\"\n",
+		"incomplete fact":           "member u\nBasketball doAt\n",
+		"unterminated quote":        "member u\nBasketball doAt \"Central\n",
+	}
+	for name, text := range cases {
+		if _, err := crowd.LoadCrowd(strings.NewReader(text), v, 1); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestCrowdRoundTrip(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, du2 := paperdata.Table3(v)
+	members := []*crowd.SimMember{
+		crowd.NewSimMember("u1", v, du1, 1),
+		crowd.NewSimMember("u2", v, du2, 2),
+	}
+	var buf bytes.Buffer
+	if err := crowd.WriteCrowd(&buf, v, members); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := crowd.LoadCrowd(&buf, v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d members", len(loaded))
+	}
+	for i, m := range loaded {
+		if len(m.DB()) != len(members[i].DB()) {
+			t.Fatalf("member %d: %d transactions, want %d",
+				i, len(m.DB()), len(members[i].DB()))
+		}
+		// Support values must survive the round trip.
+		fs := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+		if m.TrueSupport(fs) != members[i].TrueSupport(fs) {
+			t.Errorf("member %d: support changed", i)
+		}
+	}
+}

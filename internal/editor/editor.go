@@ -1,0 +1,367 @@
+// Package editor implements the query-authoring support of the OASSIS
+// prototype UI (Section 6.2): "an OASSIS-QL query editor, with query
+// templates, and auto-completion for language keywords and ontology
+// elements and relations". Complete proposes continuations at a cursor
+// position from the grammar state and the vocabulary; Templates returns
+// parameterized query skeletons like the paper's three domains.
+package editor
+
+import (
+	"sort"
+	"strings"
+
+	"oassis/internal/vocab"
+)
+
+// SuggestionKind classifies a completion.
+type SuggestionKind uint8
+
+const (
+	// Keyword completes a language keyword (SELECT, SATISFYING, ...).
+	Keyword SuggestionKind = iota
+	// ElementName completes an ontology element.
+	ElementName
+	// RelationName completes a relation.
+	RelationName
+	// VariableName completes a query variable already in scope.
+	VariableName
+)
+
+func (k SuggestionKind) String() string {
+	switch k {
+	case ElementName:
+		return "element"
+	case RelationName:
+		return "relation"
+	case VariableName:
+		return "variable"
+	default:
+		return "keyword"
+	}
+}
+
+// Suggestion is one completion candidate.
+type Suggestion struct {
+	Text string
+	Kind SuggestionKind
+}
+
+// Completer suggests continuations for partial OASSIS-QL text.
+type Completer struct {
+	v *vocab.Vocabulary
+	// MaxSuggestions caps the result (0 = unlimited).
+	MaxSuggestions int
+}
+
+// NewCompleter builds a completer over the vocabulary.
+func NewCompleter(v *vocab.Vocabulary) *Completer {
+	return &Completer{v: v, MaxSuggestions: 20}
+}
+
+// clause tracks which statement the cursor is in.
+type clause uint8
+
+const (
+	atStart clause = iota
+	afterSelect
+	inWhere
+	inSatisfying
+	inWith
+)
+
+// Complete proposes completions for the text before the cursor. The grammar
+// state machine is intentionally approximate — good enough to drive an
+// editor, never authoritative (the parser is).
+func (c *Completer) Complete(text string) []Suggestion {
+	prefix, state, position := analyze(text)
+	var out []Suggestion
+	push := func(kind SuggestionKind, cands ...string) {
+		for _, t := range cands {
+			if matchesPrefix(t, prefix) {
+				out = append(out, Suggestion{Text: t, Kind: kind})
+			}
+		}
+	}
+	switch state {
+	case atStart:
+		push(Keyword, "SELECT")
+	case afterSelect:
+		push(Keyword, "FACT-SETS", "VARIABLES", "ALL", "LIMIT", "DIVERSE",
+			"FROM CROWD WITH", "WHERE")
+	case inWhere:
+		switch position {
+		case posSubject:
+			push(Keyword, "SATISFYING")
+			c.pushVars(text, &out, prefix)
+			c.pushElements(&out, prefix)
+		case posPredicate:
+			c.pushRelations(&out, prefix)
+		case posObject:
+			c.pushVars(text, &out, prefix)
+			c.pushElements(&out, prefix)
+		}
+	case inSatisfying:
+		switch position {
+		case posSubject:
+			push(Keyword, "MORE", "WITH SUPPORT =")
+			c.pushVars(text, &out, prefix)
+			c.pushElements(&out, prefix)
+		case posPredicate:
+			c.pushVars(text, &out, prefix)
+			c.pushRelations(&out, prefix)
+		case posObject:
+			c.pushVars(text, &out, prefix)
+			c.pushElements(&out, prefix)
+		}
+	case inWith:
+		push(Keyword, "SUPPORT =", "CONFIDENCE =")
+	}
+	// Variables in scope are the most likely continuation, then keywords,
+	// then vocabulary names.
+	rank := func(k SuggestionKind) int {
+		switch k {
+		case VariableName:
+			return 0
+		case Keyword:
+			return 1
+		case ElementName:
+			return 2
+		default:
+			return 3
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if rank(out[i].Kind) != rank(out[j].Kind) {
+			return rank(out[i].Kind) < rank(out[j].Kind)
+		}
+		return out[i].Text < out[j].Text
+	})
+	if c.MaxSuggestions > 0 && len(out) > c.MaxSuggestions {
+		out = out[:c.MaxSuggestions]
+	}
+	return out
+}
+
+func (c *Completer) pushElements(out *[]Suggestion, prefix string) {
+	for _, id := range c.v.ElementsTopo() {
+		name := c.v.ElementName(id)
+		if matchesPrefix(name, prefix) {
+			*out = append(*out, Suggestion{Text: quoteIfNeeded(name), Kind: ElementName})
+		}
+	}
+}
+
+func (c *Completer) pushRelations(out *[]Suggestion, prefix string) {
+	for _, id := range c.v.RelationsTopo() {
+		name := c.v.RelationName(id)
+		if matchesPrefix(name, prefix) {
+			*out = append(*out, Suggestion{Text: name, Kind: RelationName})
+		}
+	}
+}
+
+// pushVars suggests variables already mentioned in the text.
+func (c *Completer) pushVars(text string, out *[]Suggestion, prefix string) {
+	seen := map[string]bool{}
+	for i := 0; i < len(text); i++ {
+		if text[i] != '$' {
+			continue
+		}
+		j := i + 1
+		for j < len(text) && isNameChar(text[j]) {
+			j++
+		}
+		if j > i+1 {
+			seen["$"+text[i+1:j]] = true
+		}
+		i = j
+	}
+	var names []string
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if matchesPrefix(n, prefix) {
+			*out = append(*out, Suggestion{Text: n, Kind: VariableName})
+		}
+	}
+}
+
+type triplePosition uint8
+
+const (
+	posSubject triplePosition = iota
+	posPredicate
+	posObject
+)
+
+// analyze extracts the word being typed, the clause and the position within
+// the current triple pattern.
+func analyze(text string) (prefix string, state clause, position triplePosition) {
+	// The prefix is the trailing partial word (possibly quoted).
+	i := len(text)
+	for i > 0 && isNameChar(text[i-1]) {
+		i--
+	}
+	if i > 0 && text[i-1] == '"' {
+		i--
+	}
+	if i > 0 && text[i-1] == '$' {
+		i--
+	}
+	prefix = text[i:]
+	before := text[:i]
+
+	upper := strings.ToUpper(before)
+	switch {
+	case strings.LastIndex(upper, "SATISFYING") >= 0 &&
+		strings.LastIndex(upper, "WITH") > strings.LastIndex(upper, "SATISFYING"):
+		state = inWith
+	case strings.LastIndex(upper, "SATISFYING") >= 0:
+		state = inSatisfying
+	case strings.LastIndex(upper, "WHERE") >= 0:
+		state = inWhere
+	case strings.Contains(upper, "SELECT"):
+		state = afterSelect
+	default:
+		state = atStart
+	}
+	if state == inWhere || state == inSatisfying {
+		position = patternPosition(before, state)
+	}
+	return prefix, state, position
+}
+
+// patternPosition counts complete terms since the last pattern boundary
+// ('.', clause keyword) to find the slot being typed.
+func patternPosition(before string, state clause) triplePosition {
+	// Take the text after the last '.' or clause keyword.
+	cut := strings.LastIndexByte(before, '.')
+	upper := strings.ToUpper(before)
+	kw := "WHERE"
+	if state == inSatisfying {
+		kw = "SATISFYING"
+	}
+	if k := strings.LastIndex(upper, kw); k+len(kw) > cut {
+		cut = k + len(kw) - 1
+	}
+	segment := before[cut+1:]
+	terms := countTerms(segment)
+	switch terms % 3 {
+	case 1:
+		return posPredicate
+	case 2:
+		return posObject
+	default:
+		return posSubject
+	}
+}
+
+// countTerms counts whitespace-separated terms, treating quoted names as
+// single terms.
+func countTerms(s string) int {
+	n := 0
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == ' ' || s[i] == '\t' || s[i] == '\n':
+			i++
+		case s[i] == '"':
+			j := strings.IndexByte(s[i+1:], '"')
+			if j < 0 {
+				return n // unterminated: the prefix, not a term
+			}
+			i += j + 2
+			n++
+		default:
+			j := i
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != '\n' {
+				j++
+			}
+			i = j
+			n++
+		}
+	}
+	return n
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '_' || c >= 0x80
+}
+
+func matchesPrefix(candidate, prefix string) bool {
+	p := strings.TrimPrefix(strings.TrimPrefix(prefix, "$"), `"`)
+	if p == "" {
+		return true
+	}
+	return strings.HasPrefix(strings.ToLower(candidate), strings.ToLower(p)) ||
+		strings.HasPrefix(strings.ToLower("$"+candidate), strings.ToLower(prefix))
+}
+
+func quoteIfNeeded(name string) string {
+	if strings.ContainsAny(name, " \t.") {
+		return `"` + name + `"`
+	}
+	return name
+}
+
+// Template is a parameterized query skeleton (the editor's "query
+// templates", Section 6.2). Placeholders are <angle-bracketed>.
+type Template struct {
+	Name  string
+	Title string
+	Text  string
+}
+
+// Templates returns the built-in skeletons, one per application domain of
+// the paper plus the generic itemset miner.
+func Templates() []Template {
+	return []Template{
+		{
+			Name:  "combination",
+			Title: "Popular combinations of an activity at a place",
+			Text: `SELECT FACT-SETS
+WHERE
+  $x instanceOf <place-class>.
+  $y subClassOf* <activity-class>
+SATISFYING
+  $y+ doAt $x.
+  MORE
+WITH SUPPORT = <threshold>`,
+		},
+		{
+			Name:  "pairing",
+			Title: "Frequent pairings of two classes",
+			Text: `SELECT FACT-SETS
+WHERE
+  $a subClassOf* <class-1>.
+  $b subClassOf* <class-2>
+SATISFYING
+  $a <relation> $b
+WITH SUPPORT = <threshold>`,
+		},
+		{
+			Name:  "itemsets",
+			Title: "Classic frequent itemset mining over a taxonomy",
+			Text: `SELECT FACT-SETS
+WHERE
+  $i subClassOf* <item-class>
+SATISFYING
+  $i+ <relation> <context>
+WITH SUPPORT = <threshold>`,
+		},
+		{
+			Name:  "rules",
+			Title: "Association rules between significant patterns",
+			Text: `SELECT FACT-SETS
+WHERE
+  $a subClassOf* <class-1>.
+  $b subClassOf* <class-2>
+SATISFYING
+  $a <relation> $b
+WITH SUPPORT = <threshold> CONFIDENCE = <confidence>`,
+		},
+	}
+}

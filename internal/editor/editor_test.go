@@ -1,0 +1,168 @@
+package editor_test
+
+import (
+	"strings"
+	"testing"
+
+	"oassis/internal/editor"
+	"oassis/internal/oassisql"
+	"oassis/internal/paperdata"
+)
+
+func texts(ss []editor.Suggestion) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Text
+	}
+	return out
+}
+
+func hasText(ss []editor.Suggestion, want string) bool {
+	for _, s := range ss {
+		if s.Text == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompleteAtStart(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := editor.NewCompleter(v)
+	got := c.Complete("")
+	if !hasText(got, "SELECT") {
+		t.Fatalf("start should suggest SELECT: %v", texts(got))
+	}
+	got = c.Complete("SEL")
+	if !hasText(got, "SELECT") {
+		t.Fatalf("prefix should match SELECT: %v", texts(got))
+	}
+}
+
+func TestCompleteAfterSelect(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := editor.NewCompleter(v)
+	got := c.Complete("SELECT ")
+	for _, want := range []string{"FACT-SETS", "VARIABLES"} {
+		if !hasText(got, want) {
+			t.Errorf("missing %s: %v", want, texts(got))
+		}
+	}
+	got = c.Complete("SELECT FACT-SETS ")
+	if !hasText(got, "WHERE") || !hasText(got, "LIMIT") {
+		t.Errorf("missing WHERE/LIMIT: %v", texts(got))
+	}
+}
+
+func TestCompleteWherePositions(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := editor.NewCompleter(v)
+	c.MaxSuggestions = 0
+
+	// Subject slot: elements and prior variables.
+	got := c.Complete("SELECT FACT-SETS WHERE ")
+	if !hasText(got, "Attraction") {
+		t.Errorf("subject slot should offer elements: %v", texts(got))
+	}
+	// Predicate slot after one term.
+	got = c.Complete("SELECT FACT-SETS WHERE $w ")
+	if !hasText(got, "subClassOf") || !hasText(got, "instanceOf") {
+		t.Errorf("predicate slot should offer relations: %v", texts(got))
+	}
+	if hasText(got, "Attraction") {
+		t.Errorf("predicate slot must not offer elements: %v", texts(got))
+	}
+	// Object slot.
+	got = c.Complete("SELECT FACT-SETS WHERE $w subClassOf* ")
+	if !hasText(got, "Attraction") {
+		t.Errorf("object slot should offer elements: %v", texts(got))
+	}
+	// Prefix filtering on a quoted multiword name.
+	got = c.Complete(`SELECT FACT-SETS WHERE $x instanceOf "Central`)
+	if !hasText(got, `"Central Park"`) {
+		t.Errorf("quoted prefix should match Central Park: %v", texts(got))
+	}
+	// New pattern slot after a dot.
+	got = c.Complete("SELECT FACT-SETS WHERE $w subClassOf* Attraction. ")
+	if !hasText(got, "SATISFYING") {
+		t.Errorf("subject slot should offer SATISFYING: %v", texts(got))
+	}
+}
+
+func TestCompleteVariablesInScope(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := editor.NewCompleter(v)
+	got := c.Complete("SELECT FACT-SETS WHERE $w subClassOf* Attraction. $x instanceOf $")
+	if !hasText(got, "$w") || !hasText(got, "$x") {
+		t.Errorf("variable completion missing: %v", texts(got))
+	}
+}
+
+func TestCompleteSatisfyingAndWith(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := editor.NewCompleter(v)
+	got := c.Complete("SELECT FACT-SETS WHERE $y subClassOf* Activity SATISFYING ")
+	if !hasText(got, "MORE") || !hasText(got, "WITH SUPPORT =") {
+		t.Errorf("SATISFYING slot missing keywords: %v", texts(got))
+	}
+	if !hasText(got, "$y") {
+		t.Errorf("SATISFYING slot missing variables: %v", texts(got))
+	}
+	got = c.Complete("SELECT FACT-SETS WHERE $y subClassOf* Activity SATISFYING $y doAt $x WITH ")
+	if !hasText(got, "SUPPORT =") || !hasText(got, "CONFIDENCE =") {
+		t.Errorf("WITH slot missing: %v", texts(got))
+	}
+}
+
+func TestMaxSuggestionsCap(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := editor.NewCompleter(v)
+	c.MaxSuggestions = 3
+	if got := c.Complete("SELECT FACT-SETS WHERE "); len(got) > 3 {
+		t.Fatalf("cap ignored: %d suggestions", len(got))
+	}
+}
+
+// TestTemplatesParse fills each template's placeholders with fixture terms
+// and checks the result parses.
+func TestTemplatesParse(t *testing.T) {
+	v, _ := paperdata.Build()
+	fill := map[string]string{
+		"<place-class>":    "Park",
+		"<activity-class>": "Activity",
+		"<class-1>":        "Food",
+		"<class-2>":        "Attraction",
+		"<item-class>":     "Activity",
+		"<relation>":       "doAt",
+		"<context>":        `"Central Park"`,
+		"<threshold>":      "0.3",
+		"<confidence>":     "0.6",
+	}
+	for _, tpl := range editor.Templates() {
+		text := tpl.Text
+		for ph, val := range fill {
+			text = strings.ReplaceAll(text, ph, val)
+		}
+		if _, err := oassisql.Parse(text, v); err != nil {
+			t.Errorf("template %s does not parse after filling: %v\n%s", tpl.Name, err, text)
+		}
+	}
+}
+
+// TestCompleteNeverPanics drives the completer over every prefix of a real
+// query.
+func TestCompleteNeverPanics(t *testing.T) {
+	v, _ := paperdata.Build()
+	c := editor.NewCompleter(v)
+	q := paperdata.QueryText
+	for i := 0; i <= len(q); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at prefix %d: %v", i, r)
+				}
+			}()
+			_ = c.Complete(q[:i])
+		}()
+	}
+}

@@ -1,0 +1,306 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"oassis/internal/exp"
+	"oassis/internal/synth"
+)
+
+// smallDAG keeps unit tests fast; the bench harness runs paper-scale.
+func smallDAG() synth.DAGConfig {
+	return synth.DAGConfig{Width: 60, Depth: 5, MSPPercent: 0.05, Seed: 11}
+}
+
+func TestCrowdStatsShape(t *testing.T) {
+	cfg := synth.SelfTreatment(40, 7)
+	res, err := exp.CrowdStats(cfg, []float64{0.2, 0.3, 0.4, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The headline shape claims of Figure 4: questions far below the
+	// baseline, and #questions generally decreasing with the threshold.
+	for _, row := range res.Rows {
+		if row.BaselinePct > 30 {
+			t.Errorf("theta %.2f: %.1f%% of baseline, want well below 30%%",
+				row.Theta, row.BaselinePct)
+		}
+		if row.Questions <= 0 {
+			t.Errorf("theta %.2f: no questions", row.Theta)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.Questions > first.Questions {
+		t.Errorf("questions grew with the threshold: %d → %d",
+			first.Questions, last.Questions)
+	}
+	if last.MSPs > first.MSPs+3 {
+		t.Errorf("MSPs grew sharply with the threshold: %d → %d", first.MSPs, last.MSPs)
+	}
+	// Self-treatment is a class-level query: every MSP valid.
+	for _, row := range res.Rows {
+		if row.MSPs != row.ValidMSPs {
+			t.Errorf("theta %.2f: %d MSPs but %d valid (class-level query)",
+				row.Theta, row.MSPs, row.ValidMSPs)
+		}
+	}
+	out := exp.RenderCrowdStats(res)
+	for _, want := range []string{"self-treatment", "baseline%", "0.20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrowdStatsTravelHasInvalidMSPs(t *testing.T) {
+	res, err := exp.CrowdStats(synth.Travel(40, 3), []float64{0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.ValidMSPs >= row.MSPs {
+		t.Errorf("travel should discover some invalid (class-level) MSPs: %d MSPs, %d valid",
+			row.MSPs, row.ValidMSPs)
+	}
+}
+
+func TestPace(t *testing.T) {
+	res, err := exp.Pace(synth.SelfTreatment(40, 7), 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("too few pace points: %d", len(res.Points))
+	}
+	// Percentages are monotone and end at 100%.
+	var prev exp.PacePoint
+	for i, p := range res.Points {
+		if i > 0 && (p.ClassifiedPct < prev.ClassifiedPct || p.MSPPct < prev.MSPPct) {
+			t.Fatalf("pace not monotone at %d", i)
+		}
+		prev = p
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.ClassifiedPct < 99.9 || last.MSPPct < 99.9 {
+		t.Errorf("pace should end fully classified: %+v", last)
+	}
+	if out := exp.RenderPace(res); !strings.Contains(out, "#questions") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAnswerTypesCurves(t *testing.T) {
+	curves, err := exp.AnswerTypes(smallDAG(), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 6 {
+		t.Fatalf("curves = %d, want 6", len(curves))
+	}
+	// Every variant must discover all MSPs (the oracle is exact).
+	for _, c := range curves {
+		if c.QuestionsAt[9] <= 0 || c.QuestionsAt[9] >= float64(1<<29) {
+			t.Errorf("%s: never reached 100%% (%.0f)", c.Label, c.QuestionsAt[9])
+		}
+	}
+	// Deciles are non-decreasing within a curve.
+	for _, c := range curves {
+		for i := 1; i < 10; i++ {
+			if c.QuestionsAt[i] < c.QuestionsAt[i-1] {
+				t.Errorf("%s: decile %d decreased", c.Label, i)
+			}
+		}
+	}
+	// Pruning/specialization help at completion (allowing slack for
+	// small-DAG noise): 50%-pruning must not cost more than closed.
+	closed, pruning := curves[0], curves[5]
+	if pruning.QuestionsAt[9] > closed.QuestionsAt[9]*1.15 {
+		t.Errorf("pruning made things much worse: %.0f vs %.0f",
+			pruning.QuestionsAt[9], closed.QuestionsAt[9])
+	}
+	if out := exp.RenderCurves("fig4f", curves); !strings.Contains(out, "100% special.") {
+		t.Error("render missing labels")
+	}
+}
+
+func TestAlgorithmsCurves(t *testing.T) {
+	curves, err := exp.Algorithms(smallDAG(), 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	vertical, horizontal := curves[0], curves[1]
+	// The paper's headline: vertical reaches early deciles with far
+	// fewer questions than horizontal (<35% at 20% discovered), and the
+	// gap narrows toward completion.
+	if vertical.QuestionsAt[1] >= horizontal.QuestionsAt[1] {
+		t.Errorf("vertical (%.0f) should beat horizontal (%.0f) at 20%%",
+			vertical.QuestionsAt[1], horizontal.QuestionsAt[1])
+	}
+	earlyGap := vertical.QuestionsAt[1] / horizontal.QuestionsAt[1]
+	lateGap := vertical.QuestionsAt[9] / horizontal.QuestionsAt[9]
+	if earlyGap > 0.75 {
+		t.Errorf("early gap too small: vertical/horizontal = %.2f", earlyGap)
+	}
+	if lateGap < earlyGap {
+		t.Errorf("gap should narrow toward 100%%: early %.2f, late %.2f", earlyGap, lateGap)
+	}
+}
+
+func TestAlgorithmsNaiveImprovesWithDensity(t *testing.T) {
+	// Naive is competitive only at high MSP density (Figure 5c).
+	lo := smallDAG()
+	lo.MSPPercent = 0.02
+	hi := smallDAG()
+	hi.MSPPercent = 0.10
+	curvesLo, err := exp.Algorithms(lo, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvesHi, err := exp.Algorithms(hi, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio of naive-to-vertical cost at 50% discovered should shrink
+	// as density grows.
+	rLo := curvesLo[2].QuestionsAt[4] / curvesLo[0].QuestionsAt[4]
+	rHi := curvesHi[2].QuestionsAt[4] / curvesHi[0].QuestionsAt[4]
+	if rHi > rLo*1.5 {
+		t.Errorf("naive should closed the gap at higher density: lo %.2f, hi %.2f", rLo, rHi)
+	}
+}
+
+func TestLaziness(t *testing.T) {
+	res, err := exp.Laziness(smallDAG(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated <= 0 || res.Eager <= float64(res.Generated) {
+		t.Fatalf("implausible laziness numbers: %+v", res)
+	}
+	// The Section 6.4 claim: far below the eager count at the same
+	// multiplicity (the paper says <1% at paper scale; small test DAGs
+	// allow a little more slack).
+	if res.GeneratedPct > 5 {
+		t.Errorf("generated %.2f%% of eager nodes, want far less", res.GeneratedPct)
+	}
+	if out := exp.RenderLaziness(res); !strings.Contains(out, "eager") {
+		t.Error("render missing content")
+	}
+}
+
+func TestShapeSweep(t *testing.T) {
+	rows, err := exp.ShapeSweep([]int{40, 80}, []int{4, 5}, 0.05, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Questions <= 0 || r.MSPs <= 0 {
+			t.Errorf("degenerate sweep row: %+v", r)
+		}
+	}
+	if out := exp.RenderSweep("shape", rows); !strings.Contains(out, "width=40") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestDistributionSweep(t *testing.T) {
+	rows, err := exp.DistributionSweep(smallDAG(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper: distribution has no significant effect on trends. All
+	// three complete and find MSPs.
+	for _, r := range rows {
+		if r.MSPs == 0 {
+			t.Errorf("%s: no MSPs", r.Label)
+		}
+	}
+}
+
+func TestAggregatorAblation(t *testing.T) {
+	rows, err := exp.AggregatorAblation(synth.SelfTreatment(30, 7), 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Agreement != 1 {
+		t.Fatal("reference row must have agreement 1")
+	}
+	// The trust-weighted aggregator with calibration should flag the
+	// spammers and agree with the clean run at least as well as the
+	// plain mean under contamination.
+	mean, trust := rows[1], rows[3]
+	if trust.Flagged == 0 {
+		t.Error("consistency filter flagged nobody")
+	}
+	if trust.Agreement+1e-9 < mean.Agreement {
+		t.Errorf("trust+filter agreement %.3f below plain mean %.3f",
+			trust.Agreement, mean.Agreement)
+	}
+	if out := exp.RenderAblation("self-treatment", 6, rows); !strings.Contains(out, "agreement") {
+		t.Error("render missing header")
+	}
+}
+
+func TestCrowdGrowth(t *testing.T) {
+	rows, err := exp.CrowdGrowth(synth.SelfTreatment(0, 7), []int{30, 120}, exp.DefaultLatency, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	// The paper's shape: a larger pool reaches the first MSP faster in
+	// wall-clock terms even if question counts are similar.
+	if big.FirstMSPMinutes >= small.FirstMSPMinutes {
+		t.Errorf("first-MSP time should drop with crowd size: %.1f → %.1f min",
+			small.FirstMSPMinutes, big.FirstMSPMinutes)
+	}
+	if big.TotalHours >= small.TotalHours {
+		t.Errorf("completion time should drop with crowd size: %.1f → %.1f h",
+			small.TotalHours, big.TotalHours)
+	}
+	if out := exp.RenderGrowth("self-treatment", rows); !strings.Contains(out, "#members") {
+		t.Error("render missing header")
+	}
+}
+
+func TestMultiplicitySweep(t *testing.T) {
+	rows, err := exp.MultiplicitySweep(50, 4, 0.03, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Questions <= 0 || r.MSPs <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	// Questions per MSP stay in the same ballpark with or without
+	// multiplicities (the Section 6.4 claim, with small-DAG slack).
+	base := float64(rows[0].Questions) / float64(rows[0].MSPs)
+	for _, r := range rows[1:] {
+		ratio := float64(r.Questions) / float64(r.MSPs) / base
+		if ratio > 4 || ratio < 0.25 {
+			t.Errorf("%s: questions/MSP ratio %.2f vs singleton baseline", r.Label, ratio)
+		}
+	}
+}

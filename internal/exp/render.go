@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderCrowdStats formats a Figure 4a/4b/4c dataset as the paper-style
+// rows: one line per threshold with #MSPs, #valid, #questions, baseline%.
+func RenderCrowdStats(r *CrowdStatsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Crowd statistics — %s (|A_valid|=%d, DAG nodes=%d, lazily generated=%d)\n",
+		r.Domain, r.Valid, r.DAGNodes, r.Generated)
+	fmt.Fprintf(&b, "%-6s %8s %8s %11s %10s\n", "theta", "#MSPs", "#valid", "#questions", "baseline%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6.2f %8d %8d %11d %9.1f%%\n",
+			row.Theta, row.MSPs, row.ValidMSPs, row.Questions, row.BaselinePct)
+	}
+	fmt.Fprintf(&b, "answer mix at theta=%.2f: %.0f%% specialization (%.0f%% none-of-these), %.0f%% pruning clicks, rest concrete\n",
+		r.Rows[0].Theta, r.SpecPct, r.NoneOfThesePct, r.PrunePct)
+	return b.String()
+}
+
+// RenderPace formats a Figure 4d/4e dataset: #questions as a function of
+// the percentages discovered.
+func RenderPace(r *PaceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pace of data collection — %s (theta=%.2f; final: %d questions, %d MSPs, %d valid)\n",
+		r.Domain, r.Theta, r.FinalQuestions, r.FinalMSPs, r.FinalValidMSPs)
+	if len(r.Points) > 0 && r.Points[0].HasValidMSPPct {
+		fmt.Fprintf(&b, "%10s %16s %12s %12s\n", "#questions", "classified-val%", "validMSP%", "allMSP%")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%10d %15.1f%% %11.1f%% %11.1f%%\n",
+				p.Questions, p.ClassifiedPct, p.ValidMSPPct, p.MSPPct)
+		}
+	} else {
+		fmt.Fprintf(&b, "%10s %16s %12s\n", "#questions", "classified-val%", "allMSP%")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%10d %15.1f%% %11.1f%%\n",
+				p.Questions, p.ClassifiedPct, p.MSPPct)
+		}
+	}
+	return b.String()
+}
+
+// RenderCurves formats Figure 4f / 5 series: questions to reach each decile
+// of discovered valid MSPs, one column per series.
+func RenderCurves(title string, curves []Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s", "%discovered")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %14s", c.Label)
+	}
+	b.WriteByte('\n')
+	for dec := 0; dec < 10; dec++ {
+		fmt.Fprintf(&b, "%-12d", (dec+1)*10)
+		for _, c := range curves {
+			fmt.Fprintf(&b, " %14.1f", c.QuestionsAt[dec])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderLaziness formats the Section 6.4 laziness measurement.
+func RenderLaziness(r *LazinessResult) string {
+	return fmt.Sprintf(
+		"Lazy generation (width=%d depth=%d, multiplicity MSPs of size %d):\n"+
+			"  lazily generated assignments: %d\n"+
+			"  eager DAG up to multiplicity %d: %.3g\n"+
+			"  generated fraction: %.3f%% (paper: <1%%)\n",
+		r.Width, r.Depth, r.MultiSize, r.Generated, r.MaxSetSize, r.Eager, r.GeneratedPct)
+}
+
+// RenderSweep formats a shape/distribution sweep.
+func RenderSweep(title string, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-24s %11s %8s\n", title, "config", "#questions", "#MSPs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %11d %8d\n", r.Label, r.Questions, r.MSPs)
+	}
+	return b.String()
+}

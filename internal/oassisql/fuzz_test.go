@@ -1,0 +1,33 @@
+package oassisql_test
+
+import (
+	"testing"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/paperdata"
+)
+
+// FuzzParse drives the lexer+parser with arbitrary inputs; any panic is a
+// bug (run with `go test -fuzz=FuzzParse ./internal/oassisql`).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		paperdata.QueryText,
+		paperdata.SimpleQueryText,
+		"SELECT FACT-SETS WHERE SATISFYING $x $p $o WITH SUPPORT = 0.1",
+		`SELECT VARIABLES ALL LIMIT 3 DIVERSE FROM CROWD WITH a = "b" WHERE SATISFYING $x+ doAt [] . MORE WITH SUPPORT >= 0.5 CONFIDENCE = 0.9`,
+		"SELECT", "$", `"unterminated`, "0.4.0.4", "[][]",
+	} {
+		f.Add(seed)
+	}
+	v, _ := paperdata.Build()
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := oassisql.Parse(input, v)
+		if err != nil {
+			return
+		}
+		// Anything that parses must print and reparse.
+		if _, err := oassisql.Parse(q.String(), v); err != nil {
+			t.Fatalf("printed query does not reparse: %v\n%s", err, q.String())
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package oassisql_test
+
+import (
+	"strings"
+	"testing"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/paperdata"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// TestParseFigure2 parses the paper's sample query and checks every clause.
+func TestParseFigure2(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(paperdata.QueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != oassisql.FactSets {
+		t.Error("Form should be FACT-SETS")
+	}
+	if q.All {
+		t.Error("ALL should be off by default")
+	}
+	if len(q.Where) != 7 {
+		t.Fatalf("WHERE has %d patterns, want 7", len(q.Where))
+	}
+	// First pattern: $w subClassOf* Attraction.
+	p0 := q.Where[0]
+	if p0.S.Kind != sparql.Var || p0.S.Name != "w" || !p0.Star {
+		t.Errorf("pattern 0 = %s", p0.String(v))
+	}
+	if p0.O.Kind != sparql.Const || p0.O.ID != v.Element("Attraction") {
+		t.Errorf("pattern 0 object wrong: %s", p0.String(v))
+	}
+	// Label pattern: $x hasLabel "child-friendly".
+	p3 := q.Where[3]
+	if p3.O.Kind != sparql.Literal || p3.O.Lit != "child-friendly" {
+		t.Errorf("pattern 3 should have a literal object: %s", p3.String(v))
+	}
+	// SATISFYING: $y+ doAt $x . [] eatAt $z . MORE
+	sat := q.Satisfying
+	if len(sat.Patterns) != 2 {
+		t.Fatalf("SATISFYING has %d patterns, want 2", len(sat.Patterns))
+	}
+	if sat.Patterns[0].SMult != oassisql.MultPlus {
+		t.Errorf("$y should carry +, got %v", sat.Patterns[0].SMult)
+	}
+	if sat.Patterns[1].S.Kind != sparql.Wildcard {
+		t.Error("second pattern subject should be []")
+	}
+	if !sat.More {
+		t.Error("MORE not parsed")
+	}
+	if sat.Support != 0.4 {
+		t.Errorf("Support = %v, want 0.4", sat.Support)
+	}
+}
+
+func TestParseSimpleQuery(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(paperdata.SimpleQueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 5 || len(q.Satisfying.Patterns) != 1 {
+		t.Fatalf("clause sizes: WHERE=%d SAT=%d", len(q.Where), len(q.Satisfying.Patterns))
+	}
+	if q.Satisfying.More {
+		t.Error("simple query has no MORE")
+	}
+	vars := q.SatVars()
+	if len(vars) != 2 || vars[0].Name != "x" || vars[1].Name != "y" {
+		t.Fatalf("SatVars = %v", vars)
+	}
+	if vars[0].Mult != oassisql.MultOne || vars[1].Mult != oassisql.MultOne {
+		t.Error("default multiplicity should be exactly-one")
+	}
+}
+
+func TestParseVariablesAll(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(`
+SELECT VARIABLES ALL
+WHERE $y subClassOf* Activity
+SATISFYING $y doAt "Central Park"
+WITH SUPPORT = 0.25`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != oassisql.Variables || !q.All {
+		t.Errorf("Form=%v All=%v", q.Form, q.All)
+	}
+	if q.Satisfying.Support != 0.25 {
+		t.Errorf("Support = %v", q.Satisfying.Support)
+	}
+}
+
+func TestParseSupportGeq(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(`
+SELECT FACT-SETS
+WHERE $y subClassOf* Activity
+SATISFYING $y doAt "Central Park"
+WITH SUPPORT >= 0.3`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Satisfying.Support != 0.3 {
+		t.Errorf("Support = %v", q.Satisfying.Support)
+	}
+}
+
+// TestParseItemsetMiningForm checks the Section 4.1 expressivity claim: an
+// empty WHERE with `$x+ [] []` captures classic frequent itemset mining.
+func TestParseItemsetMiningForm(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(`
+SELECT FACT-SETS
+WHERE
+SATISFYING $x+ $p $v
+WITH SUPPORT = 0.1`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 0 {
+		t.Error("WHERE should be empty")
+	}
+	vars := q.SatVars()
+	if len(vars) != 3 {
+		t.Fatalf("SatVars = %v", vars)
+	}
+	for _, sv := range vars {
+		if sv.Name == "p" && sv.Kind != vocab.Relation {
+			t.Error("$p should be a relation variable")
+		}
+	}
+}
+
+func TestParseMultiplicityMarkers(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(`
+SELECT FACT-SETS
+WHERE $y subClassOf* Activity. $x instanceOf Park
+SATISFYING $y* doAt $x?
+WITH SUPPORT = 0.5`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Satisfying.Patterns[0]
+	if p.SMult != oassisql.MultStar {
+		t.Errorf("SMult = %v, want *", p.SMult)
+	}
+	if p.OMult != oassisql.MultOptional {
+		t.Errorf("OMult = %v, want ?", p.OMult)
+	}
+}
+
+func TestMultiplicityAllows(t *testing.T) {
+	cases := []struct {
+		m    oassisql.Multiplicity
+		n    int
+		want bool
+	}{
+		{oassisql.MultOne, 1, true},
+		{oassisql.MultOne, 0, false},
+		{oassisql.MultOne, 2, false},
+		{oassisql.MultPlus, 1, true},
+		{oassisql.MultPlus, 5, true},
+		{oassisql.MultPlus, 0, false},
+		{oassisql.MultStar, 0, true},
+		{oassisql.MultStar, 9, true},
+		{oassisql.MultOptional, 0, true},
+		{oassisql.MultOptional, 1, true},
+		{oassisql.MultOptional, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Allows(c.n); got != c.want {
+			t.Errorf("%v.Allows(%d) = %v, want %v", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	v, _ := paperdata.Build()
+	cases := map[string]string{
+		"missing SELECT":     `WHERE $x instanceOf Park SATISFYING $x doAt $x WITH SUPPORT = 0.1`,
+		"bad form":           `SELECT NOTHING WHERE SATISFYING $x $p $o WITH SUPPORT = 0.1`,
+		"missing SATISFYING": `SELECT FACT-SETS WHERE $x instanceOf Park`,
+		"missing WITH":       `SELECT FACT-SETS WHERE SATISFYING $x $p $o`,
+		"unknown element":    `SELECT FACT-SETS WHERE $x instanceOf Nowhere SATISFYING $x $p $o WITH SUPPORT = 0.1`,
+		"unknown relation":   `SELECT FACT-SETS WHERE $x livesIn NYC SATISFYING $x $p $o WITH SUPPORT = 0.1`,
+		"support too high":   `SELECT FACT-SETS WHERE SATISFYING $x $p $o WITH SUPPORT = 1.5`,
+		"support zero":       `SELECT FACT-SETS WHERE SATISFYING $x $p $o WITH SUPPORT = 0`,
+		"empty SATISFYING":   `SELECT FACT-SETS WHERE $x instanceOf Park SATISFYING WITH SUPPORT = 0.1`,
+		"mult on constant":   `SELECT FACT-SETS WHERE SATISFYING Biking+ doAt $x WITH SUPPORT = 0.1`,
+		"kind clash":         `SELECT FACT-SETS WHERE $a instanceOf Park SATISFYING $x $a $y WITH SUPPORT = 0.1`,
+		"bracket relation":   `SELECT FACT-SETS WHERE SATISFYING $x [] $y WITH SUPPORT = 0.1`,
+		"trailing input":     `SELECT FACT-SETS WHERE SATISFYING $x $p $o WITH SUPPORT = 0.1 extra`,
+		"unterminated quote": `SELECT FACT-SETS WHERE $x instanceOf "Park SATISFYING $x $p $o WITH SUPPORT = 0.1`,
+		"lone dollar":        `SELECT FACT-SETS WHERE $ instanceOf Park SATISFYING $x $p $o WITH SUPPORT = 0.1`,
+	}
+	for name, text := range cases {
+		if _, err := oassisql.Parse(text, v); err == nil {
+			t.Errorf("%s: parse accepted %q", name, text)
+		}
+	}
+}
+
+// TestRoundTrip checks that printing a parsed query and reparsing yields the
+// same structure.
+func TestRoundTrip(t *testing.T) {
+	v, _ := paperdata.Build()
+	for _, text := range []string{paperdata.QueryText, paperdata.SimpleQueryText} {
+		q1, err := oassisql.Parse(text, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := q1.String()
+		q2, err := oassisql.Parse(printed, v)
+		if err != nil {
+			t.Fatalf("reparsing printed query failed: %v\n%s", err, printed)
+		}
+		if q2.String() != printed {
+			t.Errorf("round trip not stable:\n%s\nvs\n%s", printed, q2.String())
+		}
+		if len(q2.Where) != len(q1.Where) || len(q2.Satisfying.Patterns) != len(q1.Satisfying.Patterns) {
+			t.Error("round trip changed clause sizes")
+		}
+		if q2.Satisfying.Support != q1.Satisfying.Support || q2.Satisfying.More != q1.Satisfying.More {
+			t.Error("round trip changed SATISFYING attributes")
+		}
+	}
+}
+
+func TestQuotedNamesWithSpaces(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(`
+SELECT FACT-SETS
+WHERE $y subClassOf* "Ball Game"
+SATISFYING $y doAt "Central Park"
+WITH SUPPORT = 0.2`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].O.ID != v.Element("Ball Game") {
+		t.Error("quoted class name not resolved")
+	}
+	if q.Satisfying.Patterns[0].O.ID != v.Element("Central Park") {
+		t.Error("quoted instance name not resolved")
+	}
+}
+
+func TestCommentsInQuery(t *testing.T) {
+	v, _ := paperdata.Build()
+	_, err := oassisql.Parse(`
+# find frequent activities
+SELECT FACT-SETS
+WHERE $y subClassOf* Activity  # classes only
+SATISFYING $y doAt "Central Park"
+WITH SUPPORT = 0.2`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	v, _ := paperdata.Build()
+	_, err := oassisql.Parse(`
+select fact-sets
+where $y subClassOf* Activity
+satisfying $y doAt "Central Park"
+with support = 0.2`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatVarsMergesMultiplicities(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(`
+SELECT FACT-SETS
+WHERE $y subClassOf* Activity. $x instanceOf Park
+SATISFYING $y+ doAt $x. $y eatAt $x
+WITH SUPPORT = 0.2`, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sv := range q.SatVars() {
+		if sv.Name == "y" && sv.Mult != oassisql.MultPlus {
+			t.Errorf("merged multiplicity for $y = %v, want +", sv.Mult)
+		}
+	}
+}
+
+func TestParseStringBuilder(t *testing.T) {
+	v, _ := paperdata.Build()
+	q, err := oassisql.Parse(paperdata.QueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"SELECT FACT-SETS", "WHERE", "SATISFYING", "MORE", "WITH SUPPORT = 0.4", "$y+"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed query missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package oassisql_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/paperdata"
+)
+
+// TestParserNeverPanics feeds arbitrary byte strings to the parser: every
+// input must produce a query or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	v, _ := paperdata.Build()
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = oassisql.Parse(input, v)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnTokenSoup shuffles fragments of valid queries —
+// inputs that lex cleanly but parse wrong — and checks for panics.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	v, _ := paperdata.Build()
+	fragments := strings.Fields(strings.ReplaceAll(paperdata.QueryText, "\n", " "))
+	fragments = append(fragments, "LIMIT", "3", "DIVERSE", "CONFIDENCE", "FROM", "CROWD", "AND",
+		`"child-friendly"`, "[]", "$y+", ">=", "*", ".")
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(14)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		input := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on token soup %q: %v", input, r)
+				}
+			}()
+			_, _ = oassisql.Parse(input, v)
+		}()
+	}
+}
+
+// TestParseOfPrintedRandomQueries: queries assembled from random valid
+// pieces that do parse must round-trip through the printer.
+func TestParseOfPrintedRandomQueries(t *testing.T) {
+	v, _ := paperdata.Build()
+	rng := rand.New(rand.NewSource(43))
+	activities := []string{"Sport", "Biking", "Food", "\"Ball Game\"", "Basketball"}
+	places := []string{"\"Central Park\"", "\"Bronx Zoo\"", "Park"}
+	mults := []string{"", "+", "*", "?"}
+	parsed := 0
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		sb.WriteString("SELECT FACT-SETS")
+		if rng.Intn(2) == 0 {
+			sb.WriteString(" ALL")
+		}
+		if rng.Intn(3) == 0 {
+			sb.WriteString(" LIMIT 3")
+		}
+		sb.WriteString("\nWHERE $y subClassOf* Activity. $x instanceOf ")
+		sb.WriteString([]string{"Park", "Zoo", "Restaurant"}[rng.Intn(3)])
+		sb.WriteString("\nSATISFYING $y")
+		sb.WriteString(mults[rng.Intn(len(mults))])
+		sb.WriteString(" doAt ")
+		if rng.Intn(2) == 0 {
+			sb.WriteString("$x")
+		} else {
+			sb.WriteString(places[rng.Intn(len(places))])
+		}
+		if rng.Intn(3) == 0 {
+			sb.WriteString(". ")
+			sb.WriteString(activities[rng.Intn(len(activities))])
+			sb.WriteString(" doAt $x")
+		}
+		sb.WriteString("\nWITH SUPPORT = 0.")
+		sb.WriteString([]string{"1", "25", "4", "5"}[rng.Intn(4)])
+		q, err := oassisql.Parse(sb.String(), v)
+		if err != nil {
+			continue // some combinations are legitimately invalid
+		}
+		parsed++
+		q2, err := oassisql.Parse(q.String(), v)
+		if err != nil {
+			t.Fatalf("printed query does not reparse: %v\n%s", err, q.String())
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", q.String(), q2.String())
+		}
+	}
+	if parsed < 100 {
+		t.Fatalf("only %d random queries parsed; generator too strict", parsed)
+	}
+}

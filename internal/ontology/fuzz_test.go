@@ -1,0 +1,30 @@
+package ontology_test
+
+import (
+	"strings"
+	"testing"
+
+	"oassis/internal/ontology"
+	"oassis/internal/paperdata"
+)
+
+// FuzzLoad drives the textual ontology loader with arbitrary inputs.
+func FuzzLoad(f *testing.F) {
+	f.Add(paperdata.OntologyText)
+	f.Add("a subClassOf b\nb instanceOf c\n")
+	f.Add("@element x y\n@relation r\n")
+	f.Add(`e hasLabel "multi word"` + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _, _ = ontology.Load(strings.NewReader(input))
+	})
+}
+
+// FuzzLoadNTriples drives the N-Triples importer.
+func FuzzLoadNTriples(f *testing.F) {
+	f.Add("<http://x/a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://x/b> .\n")
+	f.Add(`<http://x/a> <http://www.w3.org/2000/01/rdf-schema#label> "lAbel"@en .` + "\n")
+	f.Add("_:b <http://x/p> <http://x/o> .\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _, _, _ = ontology.LoadNTriples(strings.NewReader(input))
+	})
+}

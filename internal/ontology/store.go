@@ -1,0 +1,182 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"oassis/internal/vocab"
+)
+
+// Store is the ontology: a fact-set of universal truths with indexes for
+// triple-pattern matching, plus string labels attached to elements (used by
+// patterns such as `$x hasLabel "child-friendly"`).
+//
+// A Store is built incrementally and frozen together with its vocabulary
+// before query evaluation.
+type Store struct {
+	v     *vocab.Vocabulary
+	facts map[Fact]struct{}
+
+	// Indexes. The slices are sorted at Freeze time for determinism.
+	bySP map[spKey][]vocab.TermID // (subject, predicate) -> objects
+	byPO map[spKey][]vocab.TermID // (predicate, object) -> subjects
+	byP  map[vocab.TermID][]Fact  // predicate -> facts
+
+	labels map[vocab.TermID]map[string]bool // element -> label set
+
+	frozen bool
+}
+
+type spKey struct{ a, b vocab.TermID }
+
+// NewStore returns an empty ontology over the given vocabulary.
+func NewStore(v *vocab.Vocabulary) *Store {
+	return &Store{
+		v:      v,
+		facts:  make(map[Fact]struct{}),
+		bySP:   make(map[spKey][]vocab.TermID),
+		byPO:   make(map[spKey][]vocab.TermID),
+		byP:    make(map[vocab.TermID][]Fact),
+		labels: make(map[vocab.TermID]map[string]bool),
+	}
+}
+
+// Vocabulary returns the vocabulary the store is defined over.
+func (s *Store) Vocabulary() *vocab.Vocabulary { return s.v }
+
+// Add inserts a fact. Duplicate inserts are ignored.
+func (s *Store) Add(f Fact) error {
+	if s.frozen {
+		return fmt.Errorf("ontology: Add after Freeze")
+	}
+	if _, ok := s.facts[f]; ok {
+		return nil
+	}
+	s.facts[f] = struct{}{}
+	s.bySP[spKey{f.S, f.P}] = append(s.bySP[spKey{f.S, f.P}], f.O)
+	s.byPO[spKey{f.P, f.O}] = append(s.byPO[spKey{f.P, f.O}], f.S)
+	s.byP[f.P] = append(s.byP[f.P], f)
+	return nil
+}
+
+// MustAdd is Add panicking on error, for construction code.
+func (s *Store) MustAdd(f Fact) {
+	if err := s.Add(f); err != nil {
+		panic(err)
+	}
+}
+
+// AddLabel attaches a string label to an element.
+func (s *Store) AddLabel(e vocab.TermID, label string) error {
+	if s.frozen {
+		return fmt.Errorf("ontology: AddLabel after Freeze")
+	}
+	m := s.labels[e]
+	if m == nil {
+		m = make(map[string]bool)
+		s.labels[e] = m
+	}
+	m[label] = true
+	return nil
+}
+
+// HasLabel reports whether the element carries the label.
+func (s *Store) HasLabel(e vocab.TermID, label string) bool {
+	return s.labels[e][label]
+}
+
+// LabeledElements returns all elements carrying the label, sorted by ID.
+func (s *Store) LabeledElements(label string) []vocab.TermID {
+	var out []vocab.TermID
+	for e, m := range s.labels {
+		if m[label] {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Freeze sorts all indexes; the store becomes immutable.
+func (s *Store) Freeze() {
+	if s.frozen {
+		return
+	}
+	for k := range s.bySP {
+		ids := s.bySP[k]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	for k := range s.byPO {
+		ids := s.byPO[k]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	for p := range s.byP {
+		fs := s.byP[p]
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+	}
+	s.frozen = true
+}
+
+// Size returns the number of stored facts.
+func (s *Store) Size() int { return len(s.facts) }
+
+// Has reports exact membership of a fact.
+func (s *Store) Has(f Fact) bool {
+	_, ok := s.facts[f]
+	return ok
+}
+
+// ImpliesFact reports whether the ontology semantically implies f, i.e.
+// some stored fact g satisfies f ≤ g (Definition 2.5 applied to 𝒪).
+func (s *Store) ImpliesFact(f Fact) bool {
+	if s.Has(f) {
+		return true
+	}
+	// Any stored fact with predicate p' ≥ f.P may witness the implication.
+	for p, facts := range s.byP {
+		if !s.v.LeqR(f.P, p) {
+			continue
+		}
+		for _, g := range facts {
+			if s.v.LeqE(f.S, g.S) && s.v.LeqE(f.O, g.O) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Objects returns the objects o such that ⟨s, p, o⟩ is stored, sorted.
+// The returned slice is shared; callers must not modify it.
+func (s *Store) Objects(subj, pred vocab.TermID) []vocab.TermID {
+	return s.bySP[spKey{subj, pred}]
+}
+
+// Subjects returns the subjects x such that ⟨x, p, o⟩ is stored, sorted.
+func (s *Store) Subjects(pred, obj vocab.TermID) []vocab.TermID {
+	return s.byPO[spKey{pred, obj}]
+}
+
+// FactsWithPredicate returns all stored facts with the given predicate,
+// sorted. The returned slice is shared; callers must not modify it.
+func (s *Store) FactsWithPredicate(p vocab.TermID) []Fact { return s.byP[p] }
+
+// Predicates returns the relations that appear in at least one stored fact,
+// sorted by ID.
+func (s *Store) Predicates() []vocab.TermID {
+	out := make([]vocab.TermID, 0, len(s.byP))
+	for p := range s.byP {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllFacts returns every stored fact as a canonical fact-set.
+func (s *Store) AllFacts() FactSet {
+	out := make([]Fact, 0, len(s.facts))
+	for f := range s.facts {
+		out = append(out, f)
+	}
+	return NewFactSet(out...)
+}

@@ -1,0 +1,194 @@
+// Package paperdata builds the running example of the OASSIS paper: the
+// sample ontology of Figure 1, the personal databases of Table 3 and the
+// sample query of Figure 2. It is shared by tests, examples and the
+// quickstart documentation so that every layer of the system can be checked
+// against the numbers worked out in the paper (Examples 2.7, 3.1, 3.2).
+package paperdata
+
+import (
+	"strings"
+
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// OntologyText is the Figure 1 ontology in the textual format of
+// ontology.Load, extended with the elements that occur in Table 3 but not in
+// the ontology graph (e.g. Boathouse, Rent Bikes — the paper notes such
+// vocabulary-only terms explicitly in Example 2.4) and with the
+// nearBy ≤ inside relation order of Example 2.6.
+const OntologyText = `
+# Classes
+Place subClassOf Thing
+Activity subClassOf Thing
+City subClassOf Place
+Restaurant subClassOf Place
+Attraction subClassOf Place
+Outdoor subClassOf Attraction
+Indoor subClassOf Attraction
+Park subClassOf Outdoor
+Zoo subClassOf Outdoor
+"Swimming pool" subClassOf Indoor
+Sport subClassOf Activity
+Food subClassOf Activity
+"Ball Game" subClassOf Sport
+"Water Sport" subClassOf Sport
+Biking subClassOf Sport
+Basketball subClassOf "Ball Game"
+Baseball subClassOf "Ball Game"
+Swimming subClassOf "Water Sport"
+"Water Polo" subClassOf "Water Sport"
+Falafel subClassOf Food
+Pasta subClassOf Food
+"Feed a monkey" subClassOf Activity
+
+# Vocabulary-only action terms (appear in personal histories).
+"Rent Bikes" subClassOf Activity
+
+# Instances
+NYC instanceOf City
+"Central Park" instanceOf Park
+"Madison Square" instanceOf Park
+"Bronx Zoo" instanceOf Zoo
+"Maoz Veg." instanceOf Restaurant
+Pine instanceOf Restaurant
+Boathouse instanceOf Place
+
+# Spatial facts
+"Central Park" inside NYC
+"Bronx Zoo" inside NYC
+"Madison Square" inside NYC
+"Maoz Veg." nearBy "Central Park"
+"Maoz Veg." nearBy "Madison Square"
+Pine nearBy "Bronx Zoo"
+Boathouse inside "Central Park"
+
+# nearBy ≤ inside (Example 2.6): inside is the more specific relation.
+inside subPropertyOf nearBy
+
+# Relations that occur only in personal histories and queries.
+@relation doAt eatAt
+
+# Labels
+"Central Park" hasLabel "child-friendly"
+"Bronx Zoo" hasLabel "child-friendly"
+"Madison Square" hasLabel "child-friendly"
+`
+
+// QueryText is the sample OASSIS-QL query of Figure 2.
+const QueryText = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity.
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x.
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+`
+
+// SimpleQueryText is the grey-highlighted restriction of the Figure 2 query
+// used from Example 4.2 on: only the activity-at-attraction part, without
+// the nearby restaurant, multiplicities or MORE.
+const SimpleQueryText = `
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.4
+`
+
+// Build loads the Figure 1 ontology, returning the frozen vocabulary and
+// store. It panics on error: the fixture is a compile-time constant and a
+// failure is a bug.
+func Build() (*vocab.Vocabulary, *ontology.Store) {
+	v, s, err := ontology.Load(strings.NewReader(OntologyText))
+	if err != nil {
+		panic("paperdata: " + err.Error())
+	}
+	// doAt and eatAt appear only in personal histories and queries; make
+	// sure they exist before the vocabulary freezes. Load already froze,
+	// so they must be present in the text... they are not, so they are
+	// interned here via a rebuild below if missing.
+	if v.Relation("doAt") == vocab.NoTerm || v.Relation("eatAt") == vocab.NoTerm {
+		panic("paperdata: doAt/eatAt missing from ontology text")
+	}
+	return v, s
+}
+
+// fact builds a fact from names, panicking on unknown terms.
+func fact(v *vocab.Vocabulary, s, p, o string) ontology.Fact {
+	se, pe, oe := v.Element(s), v.Relation(p), v.Element(o)
+	if se == vocab.NoTerm || pe == vocab.NoTerm || oe == vocab.NoTerm {
+		panic("paperdata: unknown term in fact " + s + " " + p + " " + o)
+	}
+	return ontology.Fact{S: se, P: pe, O: oe}
+}
+
+// Table3 returns the two personal databases D_u1 and D_u2 of Table 3.
+func Table3(v *vocab.Vocabulary) (du1, du2 []ontology.FactSet) {
+	du1 = []ontology.FactSet{
+		// T1
+		ontology.NewFactSet(
+			fact(v, "Basketball", "doAt", "Central Park"),
+			fact(v, "Falafel", "eatAt", "Maoz Veg."),
+		),
+		// T2
+		ontology.NewFactSet(
+			fact(v, "Feed a monkey", "doAt", "Bronx Zoo"),
+			fact(v, "Pasta", "eatAt", "Pine"),
+		),
+		// T3
+		ontology.NewFactSet(
+			fact(v, "Biking", "doAt", "Central Park"),
+			fact(v, "Rent Bikes", "doAt", "Boathouse"),
+			fact(v, "Falafel", "eatAt", "Maoz Veg."),
+		),
+		// T4
+		ontology.NewFactSet(
+			fact(v, "Baseball", "doAt", "Central Park"),
+			fact(v, "Biking", "doAt", "Central Park"),
+			fact(v, "Rent Bikes", "doAt", "Boathouse"),
+			fact(v, "Falafel", "eatAt", "Maoz Veg."),
+		),
+		// T5
+		ontology.NewFactSet(
+			fact(v, "Feed a monkey", "doAt", "Bronx Zoo"),
+			fact(v, "Pasta", "eatAt", "Pine"),
+		),
+		// T6
+		ontology.NewFactSet(
+			fact(v, "Feed a monkey", "doAt", "Bronx Zoo"),
+		),
+	}
+	du2 = []ontology.FactSet{
+		// T7
+		ontology.NewFactSet(
+			fact(v, "Baseball", "doAt", "Central Park"),
+			fact(v, "Biking", "doAt", "Central Park"),
+			fact(v, "Rent Bikes", "doAt", "Boathouse"),
+			fact(v, "Falafel", "eatAt", "Maoz Veg."),
+		),
+		// T8
+		ontology.NewFactSet(
+			fact(v, "Feed a monkey", "doAt", "Bronx Zoo"),
+			fact(v, "Pasta", "eatAt", "Pine"),
+		),
+	}
+	return du1, du2
+}
+
+// Fact is a convenience wrapper for building facts from names in tests and
+// examples that use the paper fixture.
+func Fact(v *vocab.Vocabulary, s, p, o string) ontology.Fact { return fact(v, s, p, o) }

@@ -1,0 +1,342 @@
+// Package server implements the crowdsourcing platform of the OASSIS
+// prototype (Sections 6.1–6.2): a web service through which crowd members
+// receive the engine's questions and submit answers. The paper's system
+// served a PHP web UI backed by the QueueManager; here the same roles are
+// an HTTP JSON API backed by the concurrent engine:
+//
+//	POST /join?member=<id>        register as a crowd member
+//	POST /start                   launch the mining run (once enough joined)
+//	GET  /question?member=<id>    fetch your next question (404: none yet,
+//	                              410: the run is over)
+//	POST /answer                  submit an answer for a question
+//	GET  /results                 the MSPs discovered so far (streamed
+//	                              incrementally, final when done)
+//
+// Each member is bridged to the engine through a mailbox Member whose
+// Ask* methods block until the HTTP side delivers the answer.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"oassis"
+)
+
+// Config parameterizes the platform.
+type Config struct {
+	// MinMembers gates /start.
+	MinMembers int
+	// AnswerTimeout bounds how long the engine waits for one member's
+	// answer before treating them as departed (their session ends, as
+	// Section 4.2 allows).
+	AnswerTimeout time.Duration
+}
+
+// Server is the running platform.
+type Server struct {
+	cfg     Config
+	session *oassis.Session
+
+	mu      sync.Mutex
+	members map[string]*mailboxMember
+	started bool
+	done    bool
+	result  *oassis.Result
+	runErr  error
+	msps    []string // incrementally discovered answers (rendered)
+
+	nextQID int64
+}
+
+// New builds a platform; attach the query session with Attach before
+// serving. Build the session with oassis.WithParallelism (so several
+// members are interviewed at once) and stream answers into the server:
+//
+//	srv := server.New(server.Config{MinMembers: 5})
+//	var sess *oassis.Session
+//	sess, err := oassis.NewSession(store, q,
+//	    oassis.WithParallelism(16),
+//	    oassis.WithOnMSP(func(a *oassis.Assignment) {
+//	        srv.RecordAnswer(sess.DescribeAnswer(sess.FactSets([]*oassis.Assignment{a})[0]))
+//	    }))
+//	srv.Attach(sess)
+func New(cfg Config) *Server {
+	if cfg.MinMembers <= 0 {
+		cfg.MinMembers = 1
+	}
+	if cfg.AnswerTimeout <= 0 {
+		cfg.AnswerTimeout = 5 * time.Minute
+	}
+	return &Server{cfg: cfg, members: make(map[string]*mailboxMember)}
+}
+
+// Attach installs the session the platform evaluates.
+func (s *Server) Attach(session *oassis.Session) { s.session = session }
+
+// RecordAnswer appends one rendered answer to the incremental /results
+// feed; wire it through oassis.WithOnMSP.
+func (s *Server) RecordAnswer(text string) {
+	s.mu.Lock()
+	s.msps = append(s.msps, text)
+	s.mu.Unlock()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", s.handleJoin)
+	mux.HandleFunc("POST /start", s.handleStart)
+	mux.HandleFunc("GET /question", s.handleQuestion)
+	mux.HandleFunc("POST /answer", s.handleAnswer)
+	mux.HandleFunc("GET /results", s.handleResults)
+	return mux
+}
+
+// question is one pending question for a member.
+type question struct {
+	ID int64 `json:"id"`
+	// Kind is "concrete" or "specialization".
+	Kind string `json:"kind"`
+	// Text is the rendered natural-language question.
+	Text string `json:"text"`
+	// Options lists the candidate refinements of a specialization
+	// question; answer with choice = index, or -1 for none of these.
+	Options []string `json:"options,omitempty"`
+
+	// answered receives the member's reply.
+	answered chan answerMsg
+}
+
+type answerMsg struct {
+	Support float64
+	Choice  int
+}
+
+// mailboxMember bridges the engine (blocking Ask* calls) to HTTP handlers.
+type mailboxMember struct {
+	id      string
+	server  *Server
+	mu      sync.Mutex
+	pending *question
+	gone    bool
+}
+
+func (m *mailboxMember) ID() string { return m.id }
+
+// post parks a question and waits for the answer (or the timeout).
+func (m *mailboxMember) post(q *question) (answerMsg, bool) {
+	m.mu.Lock()
+	if m.gone {
+		m.mu.Unlock()
+		return answerMsg{}, false
+	}
+	m.pending = q
+	m.mu.Unlock()
+	select {
+	case a := <-q.answered:
+		m.mu.Lock()
+		m.pending = nil
+		m.mu.Unlock()
+		return a, true
+	case <-time.After(m.server.cfg.AnswerTimeout):
+		m.mu.Lock()
+		m.pending = nil
+		m.gone = true
+		m.mu.Unlock()
+		return answerMsg{}, false
+	}
+}
+
+// AskConcrete implements oassis.Member over the mailbox. A departed member
+// answers 0 forever (their session effectively ended; the engine's
+// per-member caps and the aggregator absorb it).
+func (m *mailboxMember) AskConcrete(fs oassis.FactSet) oassis.Response {
+	q := &question{
+		ID:       m.server.newQID(),
+		Kind:     "concrete",
+		Text:     m.server.session.Describe(fs),
+		answered: make(chan answerMsg, 1),
+	}
+	a, ok := m.post(q)
+	if !ok {
+		return oassis.Response{Support: 0}
+	}
+	return oassis.Response{Support: a.Support}
+}
+
+// AskSpecialize implements oassis.Member.
+func (m *mailboxMember) AskSpecialize(base oassis.FactSet, cands []oassis.FactSet) (int, oassis.Response) {
+	opts := make([]string, len(cands))
+	for i, c := range cands {
+		opts[i] = m.server.session.Describe(c)
+	}
+	q := &question{
+		ID:       m.server.newQID(),
+		Kind:     "specialization",
+		Text:     m.server.session.Describe(base),
+		Options:  opts,
+		answered: make(chan answerMsg, 1),
+	}
+	a, ok := m.post(q)
+	if !ok || a.Choice < 0 || a.Choice >= len(cands) {
+		return -1, oassis.Response{}
+	}
+	return a.Choice, oassis.Response{Support: a.Support}
+}
+
+func (s *Server) newQID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextQID++
+	return s.nextQID
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("member")
+	if id == "" {
+		http.Error(w, "member required", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		http.Error(w, "run already started", http.StatusConflict)
+		return
+	}
+	if _, ok := s.members[id]; ok {
+		http.Error(w, "member already joined", http.StatusConflict)
+		return
+	}
+	s.members[id] = &mailboxMember{id: id, server: s}
+	writeJSON(w, map[string]any{"joined": id, "members": len(s.members)})
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		http.Error(w, "already started", http.StatusConflict)
+		return
+	}
+	if len(s.members) < s.cfg.MinMembers {
+		n := len(s.members)
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("need %d members, have %d", s.cfg.MinMembers, n),
+			http.StatusPreconditionFailed)
+		return
+	}
+	s.started = true
+	members := make([]oassis.Member, 0, len(s.members))
+	ids := make([]string, 0, len(s.members))
+	for id := range s.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		members = append(members, s.members[id])
+	}
+	s.mu.Unlock()
+
+	go func() {
+		res, err := s.session.Run(members)
+		s.mu.Lock()
+		s.done = true
+		s.result = res
+		s.runErr = err
+		s.mu.Unlock()
+	}()
+	writeJSON(w, map[string]any{"started": true, "members": len(members)})
+}
+
+func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("member")
+	s.mu.Lock()
+	m, ok := s.members[id]
+	done := s.done
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown member", http.StatusNotFound)
+		return
+	}
+	if done {
+		http.Error(w, "run complete", http.StatusGone)
+		return
+	}
+	m.mu.Lock()
+	q := m.pending
+	m.mu.Unlock()
+	if q == nil {
+		http.Error(w, "no question pending", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, q)
+}
+
+// answerBody is the POST /answer payload.
+type answerBody struct {
+	Member   string  `json:"member"`
+	Question int64   `json:"question"`
+	Support  float64 `json:"support"`
+	// Choice answers a specialization question (-1 = none of these).
+	Choice int `json:"choice"`
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var body answerBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if body.Support < 0 || body.Support > 1 {
+		http.Error(w, "support out of [0,1]", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	m, ok := s.members[body.Member]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown member", http.StatusNotFound)
+		return
+	}
+	m.mu.Lock()
+	q := m.pending
+	m.mu.Unlock()
+	if q == nil || q.ID != body.Question {
+		http.Error(w, "no such pending question", http.StatusConflict)
+		return
+	}
+	select {
+	case q.answered <- answerMsg{Support: body.Support, Choice: body.Choice}:
+	default: // double answer; first one wins
+	}
+	writeJSON(w, map[string]any{"accepted": true})
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := map[string]any{
+		"started": s.started,
+		"done":    s.done,
+		"answers": s.msps,
+	}
+	if s.runErr != nil {
+		resp["error"] = s.runErr.Error()
+	}
+	if s.done && s.result != nil {
+		resp["questions"] = s.result.Stats.Questions
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

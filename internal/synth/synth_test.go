@@ -1,0 +1,322 @@
+package synth_test
+
+import (
+	"testing"
+
+	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/synth"
+)
+
+func TestDAGGeneration(t *testing.T) {
+	d, err := synth.NewDAG(synth.DAGConfig{
+		Width: 50, Depth: 4, MSPPercent: 0.05, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nodes < 50 {
+		t.Fatalf("DAG has only %d nodes", d.Nodes)
+	}
+	// All nodes valid (class-level query).
+	if got := len(d.Space.Valid()); got != d.Nodes {
+		t.Errorf("valid = %d, nodes = %d; class-level query should make all valid", got, d.Nodes)
+	}
+	// Planted count ≈ 5% of nodes.
+	want := int(0.05 * float64(d.Nodes))
+	if len(d.Planted) < want-1 || len(d.Planted) > want+1 {
+		t.Errorf("planted %d MSPs, want ≈ %d", len(d.Planted), want)
+	}
+	// Planted set is an antichain.
+	for i, a := range d.Planted {
+		for j, b := range d.Planted {
+			if i != j && d.Space.Leq(a, b) {
+				t.Fatal("planted MSPs are not an antichain")
+			}
+		}
+	}
+}
+
+func TestDAGConfigValidation(t *testing.T) {
+	if _, err := synth.NewDAG(synth.DAGConfig{Width: 1, Depth: 1}); err == nil {
+		t.Fatal("tiny config accepted")
+	}
+}
+
+func TestDAGDeterminism(t *testing.T) {
+	cfg := synth.DAGConfig{Width: 40, Depth: 4, MSPPercent: 0.05, Seed: 9}
+	d1, err := synth.NewDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := synth.NewDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Nodes != d2.Nodes || len(d1.Planted) != len(d2.Planted) {
+		t.Fatal("same seed produced different DAGs")
+	}
+	for i := range d1.Planted {
+		if d1.Planted[i].Key() != d2.Planted[i].Key() {
+			t.Fatal("same seed produced different planted MSPs")
+		}
+	}
+}
+
+func TestOracleRealizesGroundTruth(t *testing.T) {
+	d, err := synth.NewDAG(synth.DAGConfig{
+		Width: 40, Depth: 4, MSPPercent: 0.05, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := d.Oracle(0, 1)
+	for _, p := range d.Planted {
+		if r := o.AskConcrete(d.Space.Instantiate(p)); r.Support < 1 {
+			t.Fatal("oracle rejects a planted MSP")
+		}
+		// Strict successors of a planted MSP must be insignificant.
+		for _, s := range d.Space.Successors(p) {
+			if r := o.AskConcrete(d.Space.Instantiate(s)); r.Support > 0 {
+				t.Fatalf("oracle accepts a successor of a planted MSP")
+			}
+		}
+	}
+	// Roots generalize some planted MSP, hence significant.
+	for _, r := range d.Space.Roots() {
+		if resp := o.AskConcrete(d.Space.Instantiate(r)); resp.Support < 1 {
+			t.Fatal("oracle rejects the root above planted MSPs")
+		}
+	}
+}
+
+// TestVerticalRecoversPlantedMSPs is the end-to-end synthetic experiment:
+// the vertical algorithm must discover exactly the planted ground truth.
+func TestVerticalRecoversPlantedMSPs(t *testing.T) {
+	for _, dist := range []synth.Distribution{synth.Uniform, synth.Near, synth.Far} {
+		d, err := synth.NewDAG(synth.DAGConfig{
+			Width: 60, Depth: 5, MSPPercent: 0.04, Distribution: dist, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := (&core.SingleUser{
+			Space: d.Space, Member: d.Oracle(0, 1), Theta: 0.5, Seed: 4,
+		}).Run()
+		want := map[string]bool{}
+		for _, p := range d.Planted {
+			want[p.Key()] = true
+		}
+		if len(res.MSPs) != len(want) {
+			t.Fatalf("%v: found %d MSPs, planted %d", dist, len(res.MSPs), len(want))
+		}
+		for _, m := range res.MSPs {
+			if !want[m.Key()] {
+				t.Errorf("%v: found non-planted MSP %s", dist, m.Key())
+			}
+		}
+	}
+}
+
+func TestVerticalRecoversMultiplicityMSPs(t *testing.T) {
+	d, err := synth.NewDAG(synth.DAGConfig{
+		Width: 30, Depth: 4, MSPPercent: 0.03,
+		MultiMSPPercent: 0.02, MultiMSPSize: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasMulti := false
+	for _, p := range d.Planted {
+		if len(p.Values("y")) > 1 {
+			hasMulti = true
+		}
+	}
+	if !hasMulti {
+		t.Fatal("no multiplicity MSPs planted")
+	}
+	res := (&core.SingleUser{
+		Space: d.Space, Member: d.Oracle(0, 1), Theta: 0.5, Seed: 4,
+	}).Run()
+	want := map[string]bool{}
+	for _, p := range d.Planted {
+		want[p.Key()] = true
+	}
+	if len(res.MSPs) != len(want) {
+		t.Fatalf("found %d MSPs, planted %d", len(res.MSPs), len(want))
+	}
+	for _, m := range res.MSPs {
+		if !want[m.Key()] {
+			t.Errorf("found non-planted MSP %s", m.Key())
+		}
+	}
+}
+
+func TestOraclePruning(t *testing.T) {
+	d, err := synth.NewDAG(synth.DAGConfig{
+		Width: 30, Depth: 4, MSPPercent: 0.05, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := d.Oracle(1.0, 1)
+	pruned := 0
+	// Ask about every single-node assignment; irrelevant ones should
+	// trigger pruning clicks, and never about ground-truth ancestors.
+	relevantKeys := map[string]bool{}
+	for _, p := range d.Planted {
+		relevantKeys[p.Key()] = true
+	}
+	for _, val := range d.Space.Valid() {
+		resp := o.AskConcrete(d.Space.Instantiate(val))
+		if len(resp.Pruned) > 0 {
+			pruned++
+			if resp.Support > 0 {
+				t.Fatal("pruned a significant assignment")
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("PruneRatio 1.0 never pruned")
+	}
+}
+
+func TestDomainGeneration(t *testing.T) {
+	for _, cfg := range []synth.DomainConfig{
+		synth.Travel(8, 1),
+		synth.Culinary(8, 2),
+		synth.SelfTreatment(8, 3),
+	} {
+		d, err := synth.NewDomain(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if len(d.Members) != 8 {
+			t.Errorf("%s: %d members", cfg.Name, len(d.Members))
+		}
+		if len(d.Space.Valid()) == 0 {
+			t.Errorf("%s: empty valid set", cfg.Name)
+		}
+		if len(d.Patterns) != cfg.Patterns {
+			t.Errorf("%s: %d patterns", cfg.Name, len(d.Patterns))
+		}
+		// Members must have plausible personal databases: planted
+		// patterns should show nonzero support for at least one member.
+		found := false
+		for _, m := range d.Members {
+			sm := m.(*crowd.SimMember)
+			for _, p := range d.Patterns {
+				fs := ontology.NewFactSet(ontology.Fact{
+					S: p.Subject, P: d.Vocab.Relation(cfg.Relation), O: p.Object,
+				})
+				if sm.TrueSupport(fs) > 0 {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: planted patterns absent from all personal DBs", cfg.Name)
+		}
+	}
+}
+
+// TestDomainDAGSizes checks that the generated eager DAG sizes land near the
+// paper's reported 4773 / 10512 / 2307 nodes (within a factor of ~1.5).
+func TestDomainDAGSizes(t *testing.T) {
+	sizes := map[string][2]int{
+		"travel":         {3200, 7200},
+		"culinary":       {7000, 15800},
+		"self-treatment": {1500, 3500},
+	}
+	for _, cfg := range []synth.DomainConfig{
+		synth.Travel(2, 1), synth.Culinary(2, 2), synth.SelfTreatment(2, 3),
+	} {
+		d, err := synth.NewDomain(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := eagerNodes(d.Space)
+		lo, hi := sizes[cfg.Name][0], sizes[cfg.Name][1]
+		if n < lo || n > hi {
+			t.Errorf("%s: eager DAG size %d outside [%d, %d]", cfg.Name, n, lo, hi)
+		}
+	}
+}
+
+// eagerNodes counts the multiplicity-1 closure: generalizations of valid
+// assignments per variable, multiplied out.
+func eagerNodes(sp *assign.Space) int {
+	counts := map[string]map[int32]bool{}
+	v := sp.Vocabulary()
+	for _, a := range sp.Valid() {
+		for _, vs := range sp.Vars() {
+			vals := a.Values(vs.Name)
+			if len(vals) != 1 {
+				continue
+			}
+			m := counts[vs.Name]
+			if m == nil {
+				m = map[int32]bool{}
+				counts[vs.Name] = m
+			}
+			m[int32(vals[0])] = true
+			for _, anc := range v.ElementAncestors(vals[0]) {
+				m[int32(anc)] = true
+			}
+		}
+	}
+	n := 1
+	for _, m := range counts {
+		n *= len(m)
+	}
+	return n
+}
+
+func TestDomainTravelHasMorePool(t *testing.T) {
+	d, err := synth.NewDomain(synth.Travel(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MorePool) == 0 {
+		t.Fatal("travel domain should carry a MORE pool")
+	}
+	if !d.Query.Satisfying.More {
+		t.Fatal("travel query should use MORE")
+	}
+}
+
+// TestDomainEndToEnd runs the multi-user engine on a small self-treatment
+// crowd and checks that the strongest planted pattern surfaces among the
+// significant assignments.
+func TestDomainEndToEnd(t *testing.T) {
+	d, err := synth.NewDomain(synth.SelfTreatment(10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(d.Space, d.Members, core.EngineConfig{
+		Theta:      0.2,
+		Aggregator: crowd.NewMeanAggregator(5, 0.2),
+		Seed:       1,
+	})
+	res := eng.Run()
+	if res.Stats.Questions == 0 {
+		t.Fatal("no questions asked")
+	}
+	if len(res.MSPs) == 0 {
+		t.Fatal("no MSPs found")
+	}
+	// MSPs must be maximal: pairwise incomparable.
+	for i, a := range res.MSPs {
+		for j, b := range res.MSPs {
+			if i != j && d.Space.Leq(a, b) {
+				t.Fatal("MSP output is not an antichain")
+			}
+		}
+	}
+}

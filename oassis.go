@@ -1,0 +1,500 @@
+// Package oassis is a Go implementation of OASSIS — query-driven crowd
+// mining (Amsterdamer, Davidson, Milo, Novgorodov, Somech; SIGMOD 2014).
+//
+// OASSIS lets a user pose a declarative OASSIS-QL query whose WHERE clause
+// selects candidate variable assignments from an ontology (a SPARQL-style
+// selection) and whose SATISFYING clause describes data patterns
+// (fact-sets) to be mined from a crowd of data contributors. The engine
+// traverses the semantic partial order over assignments top-down, asking
+// crowd members a near-minimal number of support questions, and returns the
+// maximal significant patterns (MSPs) — a concise, redundancy-free answer.
+//
+// The package exposes the full system: the vocabulary and ontology model
+// (Section 2 of the paper), the OASSIS-QL language (Section 3), the
+// single-user vertical algorithm (Section 4.1), the multi-user engine with
+// pluggable answer aggregation (Section 4.2), lazy assignment generation
+// (Section 5), crowd simulation, answer caching for threshold re-evaluation
+// (Section 6.3) and the synthetic + domain workload generators behind the
+// paper's evaluation (Sections 6.3–6.4).
+//
+// Quick start:
+//
+//	v, store, err := oassis.LoadOntology(strings.NewReader(ontologyText))
+//	q, err := oassis.ParseQuery(queryText, v)
+//	session, err := oassis.NewSession(store, q)
+//	result, err := session.Run(members)
+//	for _, fs := range session.FactSets(result.ValidMSPs) {
+//	    fmt.Println(session.Describe(fs))
+//	}
+package oassis
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/nlgen"
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/rules"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// Re-exported model types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Vocabulary is the term store with the ≤ℰ and ≤ℛ partial orders
+	// (Definition 2.1).
+	Vocabulary = vocab.Vocabulary
+	// TermID identifies an interned element or relation name.
+	TermID = vocab.TermID
+	// Ontology is the indexed universal fact store.
+	Ontology = ontology.Store
+	// Fact is an ⟨element, relation, element⟩ triple (Definition 2.2).
+	Fact = ontology.Fact
+	// FactSet is a canonical set of facts.
+	FactSet = ontology.FactSet
+	// Query is a parsed OASSIS-QL query.
+	Query = oassisql.Query
+	// Assignment maps mining variables to term sets (Definition 4.1).
+	Assignment = assign.Assignment
+	// Member is a crowd data contributor.
+	Member = crowd.Member
+	// SimMember is a simulated member backed by a personal database.
+	SimMember = crowd.SimMember
+	// Response is a member's answer to one question.
+	Response = crowd.Response
+	// Aggregator is the pluggable multi-user decision black-box
+	// (Section 4.2).
+	Aggregator = crowd.Aggregator
+	// Result is a mining outcome: MSPs, valid MSPs and statistics.
+	Result = core.Result
+	// Stats carries the cost counters the paper reports.
+	Stats = core.Stats
+	// CrowdCache stores answers for threshold re-evaluation
+	// (Section 6.3).
+	CrowdCache = core.CrowdCache
+	// Strategy selects vertical / horizontal / naive question ordering.
+	Strategy = core.Strategy
+)
+
+// Question-ordering strategies (Section 6.4 compares them).
+const (
+	Vertical   = core.Vertical
+	Horizontal = core.Horizontal
+	Naive      = core.Naive
+)
+
+// LoadOntology parses the textual ontology format (see internal/ontology's
+// Load for the grammar) and returns the frozen vocabulary and fact store.
+func LoadOntology(r io.Reader) (*Vocabulary, *Ontology, error) {
+	return ontology.Load(r)
+}
+
+// LoadOntologyFile is LoadOntology over a file path.
+func LoadOntologyFile(path string) (*Vocabulary, *Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ontology.Load(f)
+}
+
+// WriteOntology serializes a store back to the textual format.
+func WriteOntology(w io.Writer, s *Ontology) error { return ontology.Write(w, s) }
+
+// NewFactSet builds a canonical (sorted, deduplicated) fact-set.
+func NewFactSet(facts ...Fact) FactSet { return ontology.NewFactSet(facts...) }
+
+// NTriplesStats reports what an N-Triples import did.
+type NTriplesStats = ontology.NTriplesStats
+
+// LoadNTriples imports W3C N-Triples (the export format of knowledge bases
+// like YAGO, which the paper's prototype used) into a fresh vocabulary and
+// store: rdf:type / rdfs:subClassOf / rdfs:subPropertyOf / rdfs:label map
+// onto the OASSIS model; other literal-valued triples are skipped.
+func LoadNTriples(r io.Reader) (*Vocabulary, *Ontology, *NTriplesStats, error) {
+	return ontology.LoadNTriples(r)
+}
+
+// ParseFact parses one "subject predicate object" line against an existing
+// vocabulary (names may be quoted); it never interns new terms.
+func ParseFact(line string, v *Vocabulary) (Fact, error) {
+	return ontology.ParseFact(line, v)
+}
+
+// FormatFact renders a fact in the textual format, the inverse of ParseFact.
+func FormatFact(f Fact, v *Vocabulary) string { return ontology.FormatFact(f, v) }
+
+// ParseQuery parses and name-resolves an OASSIS-QL query.
+func ParseQuery(text string, v *Vocabulary) (*Query, error) {
+	return oassisql.Parse(text, v)
+}
+
+// NewSimMember builds a simulated crowd member over a personal database of
+// transactions; answers are true supports bucketed to the UI scale.
+func NewSimMember(id string, v *Vocabulary, db []FactSet, seed int64) *crowd.SimMember {
+	return crowd.NewSimMember(id, v, db, seed)
+}
+
+// LoadCrowd parses the textual crowd format (member headers followed by one
+// transaction per line) into simulated members.
+func LoadCrowd(r io.Reader, v *Vocabulary, seed int64) ([]Member, error) {
+	sims, err := LoadCrowdSim(r, v, seed)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]Member, len(sims))
+	for i, m := range sims {
+		members[i] = m
+	}
+	return members, nil
+}
+
+// LoadCrowdSim is LoadCrowd returning the concrete simulated members, whose
+// behaviour knobs (answer scale, pruning ratio) remain adjustable.
+func LoadCrowdSim(r io.Reader, v *Vocabulary, seed int64) ([]*SimMember, error) {
+	return crowd.LoadCrowd(r, v, seed)
+}
+
+// WriteCrowd serializes simulated members' personal databases in the format
+// accepted by LoadCrowd.
+func WriteCrowd(w io.Writer, v *Vocabulary, members []*crowd.SimMember) error {
+	return crowd.WriteCrowd(w, v, members)
+}
+
+// NewMeanAggregator returns the paper's K-answers-mean decision rule.
+func NewMeanAggregator(k int, theta float64) Aggregator {
+	return crowd.NewMeanAggregator(k, theta)
+}
+
+// NewMajorityAggregator returns a majority-vote decision rule.
+func NewMajorityAggregator(k int, theta float64) Aggregator {
+	return crowd.NewMajorityAggregator(k, theta)
+}
+
+// NewCrowdCache returns an empty answer cache; wrap members with
+// (*CrowdCache).Wrap to replay answers across thresholds.
+func NewCrowdCache() *CrowdCache { return core.NewCrowdCache() }
+
+// LoadCrowdCache restores a cache snapshot written by (*CrowdCache).Save,
+// verifying it was collected under the same vocabulary.
+func LoadCrowdCache(r io.Reader, v *Vocabulary) (*CrowdCache, error) {
+	return core.LoadCrowdCache(r, v)
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithSeed fixes the session's randomness (question-type choices).
+func WithSeed(seed int64) Option { return func(s *Session) { s.seed = seed } }
+
+// WithAggregator replaces the default 5-answer mean aggregator.
+func WithAggregator(a Aggregator) Option { return func(s *Session) { s.agg = a } }
+
+// WithSpecializationRatio sets the probability of specialization questions.
+func WithSpecializationRatio(r float64) Option {
+	return func(s *Session) { s.specRatio = r }
+}
+
+// WithMorePool supplies candidate MORE facts (normally mined from crowd
+// suggestions; required for queries using MORE).
+func WithMorePool(pool FactSet) Option { return func(s *Session) { s.morePool = pool } }
+
+// WithMaxQuestionsPerMember caps each member's session length.
+func WithMaxQuestionsPerMember(n int) Option {
+	return func(s *Session) { s.maxPerMember = n }
+}
+
+// WithConsistencyFilter enables the Section 4.2 spammer filter.
+func WithConsistencyFilter() Option { return func(s *Session) { s.consistency = true } }
+
+// WithSemanticWhere switches WHERE evaluation from exact triple matching to
+// the implication semantics of Definition 2.5.
+func WithSemanticWhere() Option { return func(s *Session) { s.semantic = true } }
+
+// WithParallelism serves crowd members concurrently with the given number
+// of worker goroutines (the QueueManager's concurrent web sessions).
+// Results are equivalent up to answer arrival order; the default (1) is
+// fully deterministic.
+func WithParallelism(workers int) Option {
+	return func(s *Session) { s.workers = workers }
+}
+
+// WithOnMSP streams every MSP the moment it is confirmed — the paper's
+// incremental answer delivery ("answers can be returned ... as soon as they
+// are identified").
+func WithOnMSP(fn func(*Assignment)) Option {
+	return func(s *Session) { s.onMSP = fn }
+}
+
+// Session is one query evaluation: the WHERE clause has been evaluated, the
+// assignment space built, and the crowd can be mined (possibly repeatedly,
+// e.g. for different member pools).
+type Session struct {
+	store *Ontology
+	query *Query
+	space *assign.Space
+
+	seed         int64
+	agg          Aggregator
+	specRatio    float64
+	morePool     FactSet
+	maxPerMember int
+	consistency  bool
+	semantic     bool
+	workers      int
+	onMSP        func(*Assignment)
+
+	renderer *nlgen.Renderer
+}
+
+// NewSession evaluates the query's WHERE clause against the ontology and
+// constructs the assignment space.
+func NewSession(store *Ontology, q *Query, opts ...Option) (*Session, error) {
+	s := &Session{store: store, query: q, specRatio: 0.12}
+	for _, opt := range opts {
+		opt(s)
+	}
+	ev := sparql.NewEvaluator(store)
+	ev.Semantic = s.semantic
+	bindings, err := ev.Eval(q.Where)
+	if err != nil {
+		return nil, fmt.Errorf("oassis: WHERE evaluation: %w", err)
+	}
+	space, err := assign.NewSpace(q, bindings, s.morePool)
+	if err != nil {
+		return nil, fmt.Errorf("oassis: assignment space: %w", err)
+	}
+	s.space = space
+	s.renderer = nlgen.NewRenderer(store.Vocabulary())
+	return s, nil
+}
+
+// ValidAssignments returns |𝒜valid|, the number of valid assignments the
+// WHERE clause produced (projected onto the mining variables).
+func (s *Session) ValidAssignments() int { return len(s.space.Valid()) }
+
+// Theta returns the query's support threshold.
+func (s *Session) Theta() float64 { return s.query.Satisfying.Support }
+
+// Run mines the crowd with the multi-user engine of Section 4.2 and returns
+// the MSPs. With a single member it degenerates to Algorithm 1. When the
+// query carries a crowd-selection clause (FROM CROWD WITH ...), only
+// members whose attributes match every conjunct are asked.
+func (s *Session) Run(members []Member) (*Result, error) {
+	if len(s.query.CrowdFilter) > 0 {
+		var kept []Member
+		for _, m := range members {
+			if memberMatches(m, s.query.CrowdFilter) {
+				kept = append(kept, m)
+			}
+		}
+		members = kept
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("oassis: no crowd members")
+	}
+	agg := s.agg
+	if agg == nil {
+		k := 5
+		if len(members) < k {
+			k = len(members)
+		}
+		agg = crowd.NewMeanAggregator(k, s.Theta())
+	}
+	maxMSPs := 0
+	if s.query.Limit > 0 && !s.query.Diverse {
+		maxMSPs = s.query.Limit
+	}
+	eng := core.NewEngine(s.space, members, core.EngineConfig{
+		Theta:                 s.Theta(),
+		Aggregator:            agg,
+		SpecializationRatio:   s.specRatio,
+		MaxQuestionsPerMember: s.maxPerMember,
+		Consistency:           s.consistency,
+		MaxMSPs:               maxMSPs,
+		OnMSP:                 s.onMSP,
+		Seed:                  s.seed,
+	})
+	var res *Result
+	if s.workers > 1 {
+		res = eng.RunParallel(s.workers)
+	} else {
+		res = eng.Run()
+	}
+	s.applyLimit(res)
+	return res, nil
+}
+
+// memberMatches checks the crowd-selection conjuncts against a member's
+// profile attributes.
+func memberMatches(m Member, filter []oassisql.AttrMatch) bool {
+	attributed, ok := m.(crowd.Attributed)
+	if !ok {
+		return false
+	}
+	for _, f := range filter {
+		v, ok := attributed.Attribute(f.Attr)
+		if !ok || v != f.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLimit enforces the query's LIMIT clause on the answer set: a plain
+// LIMIT truncates (the engine already stopped early), LIMIT ... DIVERSE
+// selects the k semantically most diverse answers from the full result.
+func (s *Session) applyLimit(res *Result) {
+	k := s.query.Limit
+	if k <= 0 {
+		return
+	}
+	if s.query.Diverse {
+		res.ValidMSPs = core.Diversify(s.space, res.ValidMSPs, k)
+		res.MSPs = core.Diversify(s.space, res.MSPs, k)
+		return
+	}
+	if len(res.ValidMSPs) > k {
+		res.ValidMSPs = res.ValidMSPs[:k]
+	}
+	if len(res.MSPs) > k {
+		res.MSPs = res.MSPs[:k]
+	}
+}
+
+// RunSingle mines a single member with the chosen strategy (Algorithm 1 and
+// the Section 6.4 baselines).
+func (s *Session) RunSingle(m Member, strategy Strategy) (*Result, error) {
+	maxMSPs := 0
+	if s.query.Limit > 0 && !s.query.Diverse {
+		maxMSPs = s.query.Limit
+	}
+	run := &core.SingleUser{
+		Space:               s.space,
+		Member:              m,
+		Theta:               s.Theta(),
+		Strategy:            strategy,
+		SpecializationRatio: s.specRatio,
+		Seed:                s.seed,
+		MaxMSPs:             maxMSPs,
+		OnMSP:               s.onMSP,
+	}
+	res := run.Run()
+	s.applyLimit(res)
+	return res, nil
+}
+
+// FactSets instantiates assignments into the fact-set answers the query
+// requested (SELECT FACT-SETS).
+func (s *Session) FactSets(as []*Assignment) []FactSet {
+	out := make([]FactSet, len(as))
+	for i, a := range as {
+		out[i] = s.space.Instantiate(a)
+	}
+	return out
+}
+
+// Binding is one SELECT VARIABLES answer row: each mining variable's value
+// names (multiplicities give several).
+type Binding map[string][]string
+
+// Bindings renders assignments as variable-binding answers (SELECT
+// VARIABLES). Variables with empty value sets are omitted from a row.
+func (s *Session) Bindings(as []*Assignment) []Binding {
+	v := s.store.Vocabulary()
+	kinds := s.space.Kinds()
+	out := make([]Binding, len(as))
+	for i, a := range as {
+		row := Binding{}
+		for _, name := range a.Vars() {
+			vals := a.Values(name)
+			names := make([]string, len(vals))
+			for j, id := range vals {
+				if kinds[name] == vocab.Relation {
+					names[j] = v.RelationName(id)
+				} else {
+					names[j] = v.ElementName(id)
+				}
+			}
+			row[name] = names
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Answers renders the result in the form the query requested: fact-set
+// sentences for SELECT FACT-SETS, "var = value" rows for SELECT VARIABLES.
+func (s *Session) Answers(res *Result) []string {
+	items := res.ValidMSPs
+	if s.query.All {
+		items = res.Significant
+	}
+	out := make([]string, 0, len(items))
+	if s.query.Form == oassisql.Variables {
+		for _, b := range s.Bindings(items) {
+			var parts []string
+			names := make([]string, 0, len(b))
+			for n := range b {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				parts = append(parts, "$"+n+" = "+strings.Join(b[n], ", "))
+			}
+			out = append(out, strings.Join(parts, "; "))
+		}
+		return out
+	}
+	for _, fs := range s.FactSets(items) {
+		out = append(out, s.DescribeAnswer(fs))
+	}
+	return out
+}
+
+// Describe renders a fact-set as the question the crowd would see.
+func (s *Session) Describe(fs FactSet) string {
+	return s.renderer.ConcreteQuestion(fs)
+}
+
+// DescribeAnswer renders a mined fact-set as an answer statement (the
+// result presentation of the prototype UI).
+func (s *Session) DescribeAnswer(fs FactSet) string {
+	return s.renderer.AnswerStatement(fs)
+}
+
+// DescribeAssignment renders an assignment's variable bindings.
+func (s *Session) DescribeAssignment(a *Assignment) string {
+	return a.String(s.store.Vocabulary(), s.space.Kinds())
+}
+
+// IsValid reports strict query validity of an assignment (M ∩ 𝒜valid).
+func (s *Session) IsValid(a *Assignment) bool { return s.space.IsValid(a) }
+
+// Rule is a mined association rule (the OASSIS-QL rule-mining extension).
+type Rule = rules.Rule
+
+// MineRules derives association rules from a completed run at the query's
+// CONFIDENCE threshold (or the given minimum when the query has none). No
+// further crowd questions are asked: confidences come from the supports the
+// run already collected.
+func (s *Session) MineRules(res *Result, minConfidence float64) []Rule {
+	if c := s.query.Satisfying.Confidence; c > 0 {
+		minConfidence = c
+	}
+	return rules.Mine(s.space, res, s.Theta(), minConfidence)
+}
+
+// DescribeRule renders a rule in natural language.
+func (s *Session) DescribeRule(r Rule) string {
+	return s.renderer.RuleStatement(r.Antecedent, r.Consequent, r.Confidence)
+}
