@@ -10,7 +10,8 @@
 // Figures: 4a 4b 4c (crowd statistics per domain), 4d 4e (pace of data
 // collection), 4f (answer-type ratios), 5a 5b 5c (vertical vs horizontal vs
 // naive at 2%/5%/10% MSP density), text63 (Section 6.3 claims), text64
-// (Section 6.4 sweeps and laziness).
+// (Section 6.4 sweeps and laziness), chaos (departure-rate resilience
+// sweep on a virtual clock).
 package main
 
 import (
@@ -33,7 +34,7 @@ type config struct {
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure id: 4a 4b 4c 4d 4e 4f 5a 5b 5c text63 text64 growth ablation all")
+		fig   = flag.String("fig", "all", "figure id: 4a 4b 4c 4d 4e 4f 5a 5b 5c text63 text64 growth ablation chaos all")
 		quick = flag.Bool("quick", false, "scaled-down configuration (seconds instead of minutes)")
 		seed  = flag.Int64("seed", 1, "random seed")
 	)
@@ -60,6 +61,7 @@ func run(fig string, cfg config) error {
 		{"5a", fig5a}, {"5b", fig5b}, {"5c", fig5c},
 		{"text63", text63}, {"text64", text64},
 		{"growth", growth}, {"ablation", ablation},
+		{"chaos", chaosFig},
 	} {
 		if all || fig == f.id {
 			ran = true
@@ -197,6 +199,21 @@ func ablation(cfg config) error {
 		return err
 	}
 	fmt.Print(exp.RenderAblation("self-treatment", spammers, rows))
+	return nil
+}
+
+// chaosFig prints the fault-injection resilience study: the same DAG mined
+// by oracle clones on a virtual clock while a growing fraction of the
+// crowd departs mid-run. Beyond the paper's evaluation, but its crowds
+// behaved this way (Section 6.3 notes members coming and going).
+func chaosFig(cfg config) error {
+	rows, err := exp.ChaosResilience(synth.DAGConfig{
+		Width: cfg.lazyWidth, Depth: cfg.dagDepth - 2, MSPPercent: 0.02,
+	}, 12, []float64{0, 0.125, 0.25, 0.5}, cfg.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderChaos(rows))
 	return nil
 }
 

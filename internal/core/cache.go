@@ -66,6 +66,11 @@ func (m *cachedMember) AskConcrete(fs ontology.FactSet) crowd.Response {
 	}
 	m.cache.Misses++
 	resp := m.inner.AskConcrete(fs)
+	if resp.Departed {
+		// A departure is an absence, not an answer: caching it would make
+		// replays depart at the wrong moments.
+		return resp
+	}
 	m.cache.concrete[k] = resp
 	return resp
 }
@@ -100,6 +105,9 @@ func (m *cachedMember) AskSpecialize(base ontology.FactSet, candidates []ontolog
 	}
 	m.cache.Misses++
 	idx, resp := m.inner.AskSpecialize(base, candidates)
+	if resp.Departed {
+		return idx, resp
+	}
 	stored := specAnswer{idx: -1, resp: resp}
 	if idx >= 0 {
 		for ci, oi := range order {

@@ -4,8 +4,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"oassis/internal/assign"
+	"oassis/internal/chaos"
 	"oassis/internal/crowd"
 	"oassis/internal/ontology"
 	"oassis/internal/vocab"
@@ -43,6 +45,20 @@ type EngineConfig struct {
 	OnMSP func(*assign.Assignment)
 	// Seed drives question-type choices.
 	Seed int64
+	// AnswerDeadline bounds how long one answer may take on the engine's
+	// Clock. An answer arriving later is discarded (it is stale: the
+	// member may have seen a question whose context has moved on) and the
+	// member is re-asked on their next turn; after MaxAnswerTimeouts
+	// consecutive overruns the member is treated as departed. 0 waits
+	// forever (the pre-chaos behaviour).
+	AnswerDeadline time.Duration
+	// MaxAnswerTimeouts is the consecutive-overrun budget before a slow
+	// member is dropped; 0 means the default of 3.
+	MaxAnswerTimeouts int
+	// Clock is the time source for answer deadlines; nil uses the wall
+	// clock. Chaos tests inject a chaos.VirtualClock so slow-member
+	// scenarios replay deterministically in zero wall time.
+	Clock chaos.Clock
 }
 
 // Engine is the multi-user query evaluator: the paper's QueueManager. It
@@ -62,6 +78,7 @@ type Engine struct {
 	tracker *progressTracker
 	stats   Stats
 	rng     *rand.Rand
+	clock   chaos.Clock
 
 	byKey map[string]*assign.Assignment
 	succs map[string][]*assign.Assignment
@@ -90,6 +107,12 @@ type userState struct {
 	pruned  map[vocab.TermID]bool
 	asked   int
 	banned  bool
+	// departed marks a member who left mid-run (a Departed response or
+	// too many deadline overruns); the engine stops asking them and the
+	// run degrades gracefully to the surviving crowd.
+	departed bool
+	// timeouts counts consecutive answer-deadline overruns.
+	timeouts int
 }
 
 // answeredYes reports whether the member answered the assignment with
@@ -117,6 +140,10 @@ func NewEngine(sp *assign.Space, members []crowd.Member, cfg EngineConfig) *Engi
 		decided:   make(map[string]crowd.Decision),
 		confirmed: make(map[string]bool),
 	}
+	e.clock = cfg.Clock
+	if e.clock == nil {
+		e.clock = chaos.Real()
+	}
 	if cfg.Consistency {
 		e.checker = crowd.NewConsistencyChecker(sp.Vocabulary())
 	}
@@ -141,7 +168,7 @@ func (e *Engine) Run() *Result {
 	for !e.stopped {
 		progress := false
 		for _, u := range e.users {
-			if u.banned || e.stopped {
+			if u.banned || u.departed || e.stopped {
 				continue
 			}
 			if e.cfg.MaxQuestionsPerMember > 0 && u.asked >= e.cfg.MaxQuestionsPerMember {
@@ -179,6 +206,9 @@ func (e *Engine) calibrate() {
 				continue
 			}
 			e.askConcreteUser(u, p)
+			if u.departed {
+				break
+			}
 			if e.checker.IsSpammer(u.member.ID()) {
 				u.banned = true
 				if tw, ok := e.agg.(*crowd.TrustWeightedAggregator); ok {
@@ -288,7 +318,13 @@ func (e *Engine) maybeSpecialize(u *userState, base *assign.Assignment) bool {
 	for i, o := range open {
 		cands[i] = e.space.Instantiate(o)
 	}
+	start := e.clock.Now()
 	idx, resp := u.member.AskSpecialize(e.space.Instantiate(base), cands)
+	if !e.answerUsable(u, start, resp.Departed) {
+		// The member was engaged (their turn is spent) but produced no
+		// usable answer; the open candidates stay open for the crowd.
+		return true
+	}
 	u.asked++
 	e.stats.Questions++
 	e.stats.SpecialQ++
@@ -305,9 +341,45 @@ func (e *Engine) maybeSpecialize(u *userState, base *assign.Assignment) bool {
 	return true
 }
 
+// answerUsable vets one member interaction: a Departed response retires the
+// member immediately; an answer arriving after the deadline is discarded
+// (and, after MaxAnswerTimeouts consecutive overruns, retires the member
+// too). The assignment stays unanswered for this member, so the traversal
+// re-poses it on their next turn — the engine-side retry — while other
+// members keep being asked it independently — the reassignment. Callers in
+// the parallel path hold e.mu.
+func (e *Engine) answerUsable(u *userState, start time.Time, departed bool) bool {
+	if departed {
+		if !u.departed {
+			u.departed = true
+			e.stats.Departures++
+		}
+		return false
+	}
+	if e.cfg.AnswerDeadline > 0 && e.clock.Now().Sub(start) > e.cfg.AnswerDeadline {
+		e.stats.TimedOut++
+		u.timeouts++
+		max := e.cfg.MaxAnswerTimeouts
+		if max <= 0 {
+			max = 3
+		}
+		if u.timeouts >= max {
+			u.departed = true
+			e.stats.Departures++
+		}
+		return false
+	}
+	u.timeouts = 0
+	return true
+}
+
 // askConcreteUser poses one concrete question to the member.
 func (e *Engine) askConcreteUser(u *userState, a *assign.Assignment) {
+	start := e.clock.Now()
 	resp := u.member.AskConcrete(e.space.Instantiate(a))
+	if !e.answerUsable(u, start, resp.Departed) {
+		return
+	}
 	u.asked++
 	e.stats.Questions++
 	e.stats.ConcreteQ++

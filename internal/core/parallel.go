@@ -62,7 +62,7 @@ func (e *Engine) RunParallel(workers int) *Result {
 func (e *Engine) userDone(u *userState) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if u.banned || e.stopped {
+	if u.banned || u.departed || e.stopped {
 		return true
 	}
 	return e.cfg.MaxQuestionsPerMember > 0 && u.asked >= e.cfg.MaxQuestionsPerMember
@@ -113,8 +113,13 @@ func (e *Engine) stepUserLocked(u *userState) bool {
 
 	switch kind {
 	case concreteQuestion:
+		start := e.clock.Now()
 		resp := u.member.AskConcrete(askedFS)
 		e.mu.Lock()
+		if !e.answerUsable(u, start, resp.Departed) {
+			e.mu.Unlock()
+			return true
+		}
 		u.asked++
 		e.stats.Questions++
 		e.stats.ConcreteQ++
@@ -128,8 +133,13 @@ func (e *Engine) stepUserLocked(u *userState) bool {
 		e.tracker.sample(&e.stats)
 		e.mu.Unlock()
 	case specializationQuestion:
+		start := e.clock.Now()
 		idx, resp := u.member.AskSpecialize(baseFS, cands)
 		e.mu.Lock()
+		if !e.answerUsable(u, start, resp.Departed) {
+			e.mu.Unlock()
+			return true
+		}
 		u.asked++
 		e.stats.Questions++
 		e.stats.SpecialQ++

@@ -256,6 +256,13 @@ func (s *session) askConcrete(m crowd.Member, a *assign.Assignment) bool {
 		return false
 	}
 	resp := m.AskConcrete(s.space.Instantiate(a))
+	if resp.Departed {
+		// The only member left; end the run with what is confirmed so far
+		// (the same early-termination semantics as top-k).
+		s.stats.Departures++
+		s.stopped = true
+		return false
+	}
 	s.stats.Questions++
 	s.stats.ConcreteQ++
 	if len(resp.Pruned) > 0 {
@@ -331,6 +338,11 @@ func (s *session) askSpecialization(m crowd.Member, base *assign.Assignment, ope
 		cands[i] = s.space.Instantiate(o)
 	}
 	idx, resp := m.AskSpecialize(s.space.Instantiate(base), cands)
+	if resp.Departed {
+		s.stats.Departures++
+		s.stopped = true
+		return nil, false
+	}
 	s.stats.Questions++
 	s.stats.SpecialQ++
 	if idx < 0 {

@@ -39,6 +39,14 @@ type Stats struct {
 	// comparing against the eager DAG size measures the Section 6.4
 	// laziness claim.
 	Generated int
+	// Departures counts members who left mid-run (a Departed response or
+	// exhausting the consecutive answer-deadline budget). Their recorded
+	// answers are kept; the run degrades to the surviving crowd.
+	Departures int
+	// TimedOut counts answers discarded because they arrived after the
+	// engine's AnswerDeadline; such questions do not count in Questions
+	// (no usable answer was obtained) and are re-posed.
+	TimedOut int
 
 	// Progress samples one point per question for the pace-of-collection
 	// curves (Figures 4d–4e).

@@ -23,6 +23,12 @@ type Response struct {
 	// pruning, Section 6.2): every assignment involving such a value or
 	// a more specific one has support 0 for this member.
 	Pruned []vocab.TermID
+	// Departed marks a non-answer: the member left the crowd (or timed
+	// out beyond recovery) instead of answering. Section 4.2 allows a
+	// member's session to "be terminated at any point"; the engine must
+	// not record a support value for a departed response and must stop
+	// asking the member.
+	Departed bool
 }
 
 // Member is a crowd data contributor. The engine never sees the personal

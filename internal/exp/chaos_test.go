@@ -1,0 +1,52 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"oassis/internal/exp"
+	"oassis/internal/synth"
+)
+
+func TestChaosResilience(t *testing.T) {
+	cfg := synth.DAGConfig{Width: 24, Depth: 3, MSPPercent: 0.05, Seed: 11}
+	rates := []float64{0, 0.25, 0.5}
+	rows, err := exp.ChaosResilience(cfg, 8, rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(rates))
+	}
+	if rows[0].Departed != 0 || rows[0].RecallPct != 100 {
+		t.Fatalf("fault-free baseline row is faulty: %+v", rows[0])
+	}
+	for i, r := range rows {
+		want := int(rates[i] * 8)
+		if r.Departed != want {
+			t.Errorf("rate %.2f: departed %d, want %d", rates[i], r.Departed, want)
+		}
+		if r.VirtualHours <= 0 {
+			t.Errorf("rate %.2f: no virtual time elapsed", rates[i])
+		}
+		// The oracles are clones: any surviving subset holds the whole
+		// ground truth, so recall must not degrade.
+		if r.RecallPct != 100 {
+			t.Errorf("rate %.2f: recall %.1f%%, want 100%%", rates[i], r.RecallPct)
+		}
+	}
+	// Deterministic replay: the sweep is a pure function of its seeds.
+	again, err := exp.ChaosResilience(cfg, 8, rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d diverged on replay: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+	out := exp.RenderChaos(rows)
+	if !strings.Contains(out, "depart%") || !strings.Contains(out, "recall%") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"oassis"
+	"oassis/internal/chaos"
 )
 
 // Config parameterizes the platform.
@@ -35,14 +36,24 @@ type Config struct {
 	// answer before treating them as departed (their session ends, as
 	// Section 4.2 allows).
 	AnswerTimeout time.Duration
+	// AnswerRetries is how many extra AnswerTimeout windows a question
+	// stays posted after its first deadline passes, covering members that
+	// time out once and return. Only when every window expires is the
+	// member declared departed and the question released for the engine
+	// to reassign to the remaining crowd.
+	AnswerRetries int
+	// Clock is the platform's time source; nil uses the wall clock.
+	// Chaos tests inject a chaos.VirtualClock to drive the deadline
+	// machinery deterministically.
+	Clock chaos.Clock
 }
 
 // Server is the running platform.
 type Server struct {
-	cfg     Config
-	session *oassis.Session
+	cfg Config
 
 	mu      sync.Mutex
+	session *oassis.Session
 	members map[string]*mailboxMember
 	started bool
 	done    bool
@@ -72,11 +83,25 @@ func New(cfg Config) *Server {
 	if cfg.AnswerTimeout <= 0 {
 		cfg.AnswerTimeout = 5 * time.Minute
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = chaos.Real()
+	}
 	return &Server{cfg: cfg, members: make(map[string]*mailboxMember)}
 }
 
 // Attach installs the session the platform evaluates.
-func (s *Server) Attach(session *oassis.Session) { s.session = session }
+func (s *Server) Attach(session *oassis.Session) {
+	s.mu.Lock()
+	s.session = session
+	s.mu.Unlock()
+}
+
+// attached returns the session installed with Attach.
+func (s *Server) attached() *oassis.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.session
+}
 
 // RecordAnswer appends one rendered answer to the incremental /results
 // feed; wire it through oassis.WithOnMSP.
@@ -128,7 +153,11 @@ type mailboxMember struct {
 
 func (m *mailboxMember) ID() string { return m.id }
 
-// post parks a question and waits for the answer (or the timeout).
+// post parks a question and waits for the answer. The question stays
+// posted across 1 + AnswerRetries deadline windows (covering members that
+// time out once and come back); only when every window expires is the
+// member declared departed and the question withdrawn — the engine then
+// reassigns the underlying assignment to the remaining crowd.
 func (m *mailboxMember) post(q *question) (answerMsg, bool) {
 	m.mu.Lock()
 	if m.gone {
@@ -137,53 +166,62 @@ func (m *mailboxMember) post(q *question) (answerMsg, bool) {
 	}
 	m.pending = q
 	m.mu.Unlock()
-	select {
-	case a := <-q.answered:
-		m.mu.Lock()
-		m.pending = nil
-		m.mu.Unlock()
-		return a, true
-	case <-time.After(m.server.cfg.AnswerTimeout):
-		m.mu.Lock()
-		m.pending = nil
-		m.gone = true
-		m.mu.Unlock()
-		return answerMsg{}, false
+	for attempt := 0; attempt <= m.server.cfg.AnswerRetries; attempt++ {
+		select {
+		case a := <-q.answered:
+			m.mu.Lock()
+			m.pending = nil
+			m.mu.Unlock()
+			return a, true
+		case <-m.server.cfg.Clock.After(m.server.cfg.AnswerTimeout):
+			// Deadline passed; retry (keep the question posted) until
+			// the windows run out.
+		}
 	}
+	m.mu.Lock()
+	m.pending = nil
+	m.gone = true
+	m.mu.Unlock()
+	return answerMsg{}, false
 }
 
-// AskConcrete implements oassis.Member over the mailbox. A departed member
-// answers 0 forever (their session effectively ended; the engine's
-// per-member caps and the aggregator absorb it).
+// AskConcrete implements oassis.Member over the mailbox. A member that
+// exhausts every answer window has departed (their session ended, as
+// Section 4.2 allows); the engine stops asking them and the run continues
+// with the surviving crowd.
 func (m *mailboxMember) AskConcrete(fs oassis.FactSet) oassis.Response {
 	q := &question{
 		ID:       m.server.newQID(),
 		Kind:     "concrete",
-		Text:     m.server.session.Describe(fs),
+		Text:     m.server.attached().Describe(fs),
 		answered: make(chan answerMsg, 1),
 	}
 	a, ok := m.post(q)
 	if !ok {
-		return oassis.Response{Support: 0}
+		return oassis.Response{Departed: true}
 	}
 	return oassis.Response{Support: a.Support}
 }
 
 // AskSpecialize implements oassis.Member.
 func (m *mailboxMember) AskSpecialize(base oassis.FactSet, cands []oassis.FactSet) (int, oassis.Response) {
+	sess := m.server.attached()
 	opts := make([]string, len(cands))
 	for i, c := range cands {
-		opts[i] = m.server.session.Describe(c)
+		opts[i] = sess.Describe(c)
 	}
 	q := &question{
 		ID:       m.server.newQID(),
 		Kind:     "specialization",
-		Text:     m.server.session.Describe(base),
+		Text:     sess.Describe(base),
 		Options:  opts,
 		answered: make(chan answerMsg, 1),
 	}
 	a, ok := m.post(q)
-	if !ok || a.Choice < 0 || a.Choice >= len(cands) {
+	if !ok {
+		return -1, oassis.Response{Departed: true}
+	}
+	if a.Choice < 0 || a.Choice >= len(cands) {
 		return -1, oassis.Response{}
 	}
 	return a.Choice, oassis.Response{Support: a.Support}
@@ -230,6 +268,12 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 			http.StatusPreconditionFailed)
 		return
 	}
+	sess := s.session
+	if sess == nil {
+		s.mu.Unlock()
+		http.Error(w, "no session attached", http.StatusInternalServerError)
+		return
+	}
 	s.started = true
 	members := make([]oassis.Member, 0, len(s.members))
 	ids := make([]string, 0, len(s.members))
@@ -243,7 +287,7 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	go func() {
-		res, err := s.session.Run(members)
+		res, err := sess.Run(members)
 		s.mu.Lock()
 		s.done = true
 		s.result = res
@@ -268,8 +312,13 @@ func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.mu.Lock()
-	q := m.pending
+	q, gone := m.pending, m.gone
 	m.mu.Unlock()
+	if gone {
+		// The member missed every answer window; their session ended.
+		http.Error(w, "member departed", http.StatusGone)
+		return
+	}
 	if q == nil {
 		http.Error(w, "no question pending", http.StatusNotFound)
 		return
@@ -304,15 +353,24 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.mu.Lock()
-	q := m.pending
+	q, gone := m.pending, m.gone
 	m.mu.Unlock()
+	if gone {
+		http.Error(w, "member departed", http.StatusGone)
+		return
+	}
 	if q == nil || q.ID != body.Question {
+		// Stale or out-of-order submission: the question is no longer
+		// (or was never) pending for this member.
 		http.Error(w, "no such pending question", http.StatusConflict)
 		return
 	}
 	select {
 	case q.answered <- answerMsg{Support: body.Support, Choice: body.Choice}:
-	default: // double answer; first one wins
+	default:
+		// Duplicate submission: the first answer won.
+		http.Error(w, "question already answered", http.StatusConflict)
+		return
 	}
 	writeJSON(w, map[string]any{"accepted": true})
 }
@@ -330,6 +388,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.done && s.result != nil {
 		resp["questions"] = s.result.Stats.Questions
+		resp["departures"] = s.result.Stats.Departures
 	}
 	writeJSON(w, resp)
 }

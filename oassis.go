@@ -34,8 +34,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"oassis/internal/assign"
+	"oassis/internal/chaos"
 	"oassis/internal/core"
 	"oassis/internal/crowd"
 	"oassis/internal/nlgen"
@@ -82,7 +84,29 @@ type (
 	CrowdCache = core.CrowdCache
 	// Strategy selects vertical / horizontal / naive question ordering.
 	Strategy = core.Strategy
+	// Clock abstracts time for deterministic chaos simulation.
+	Clock = chaos.Clock
+	// VirtualClock is the deterministic simulation clock: sleeps advance
+	// virtual time instantly, so chaos scenarios replay in zero wall time.
+	VirtualClock = chaos.VirtualClock
+	// Faults configures the misbehaviours a FaultyMember injects.
+	Faults = chaos.Faults
+	// FaultyMember decorates a Member with seed-driven faults (latency,
+	// departure, contradiction) for resilience testing.
+	FaultyMember = chaos.FaultyMember
 )
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return chaos.Real() }
+
+// NewVirtualClock returns a deterministic simulation clock.
+func NewVirtualClock() *VirtualClock { return chaos.NewVirtualClock() }
+
+// NewFaultyMember wraps a member with the configured faults, sleeping on
+// the given clock (nil uses the wall clock).
+func NewFaultyMember(inner Member, clock Clock, f Faults) *FaultyMember {
+	return chaos.Wrap(inner, clock, f)
+}
 
 // Question-ordering strategies (Section 6.4 compares them).
 const (
@@ -235,6 +259,22 @@ func WithOnMSP(fn func(*Assignment)) Option {
 	return func(s *Session) { s.onMSP = fn }
 }
 
+// WithClock sets the session's time source (default: the wall clock).
+// Inject a VirtualClock to run slow-member chaos scenarios
+// deterministically in zero wall time.
+func WithClock(c Clock) Option { return func(s *Session) { s.clock = c } }
+
+// WithAnswerDeadline bounds how long one member answer may take on the
+// session's clock. Later answers are discarded and re-asked; after
+// maxTimeouts consecutive overruns (0 = the default of 3) the member is
+// treated as departed and the run degrades to the surviving crowd.
+func WithAnswerDeadline(d time.Duration, maxTimeouts int) Option {
+	return func(s *Session) {
+		s.answerDeadline = d
+		s.maxTimeouts = maxTimeouts
+	}
+}
+
 // Session is one query evaluation: the WHERE clause has been evaluated, the
 // assignment space built, and the crowd can be mined (possibly repeatedly,
 // e.g. for different member pools).
@@ -243,15 +283,18 @@ type Session struct {
 	query *Query
 	space *assign.Space
 
-	seed         int64
-	agg          Aggregator
-	specRatio    float64
-	morePool     FactSet
-	maxPerMember int
-	consistency  bool
-	semantic     bool
-	workers      int
-	onMSP        func(*Assignment)
+	seed           int64
+	agg            Aggregator
+	specRatio      float64
+	morePool       FactSet
+	maxPerMember   int
+	consistency    bool
+	semantic       bool
+	workers        int
+	onMSP          func(*Assignment)
+	clock          Clock
+	answerDeadline time.Duration
+	maxTimeouts    int
 
 	renderer *nlgen.Renderer
 }
@@ -323,6 +366,9 @@ func (s *Session) Run(members []Member) (*Result, error) {
 		MaxMSPs:               maxMSPs,
 		OnMSP:                 s.onMSP,
 		Seed:                  s.seed,
+		AnswerDeadline:        s.answerDeadline,
+		MaxAnswerTimeouts:     s.maxTimeouts,
+		Clock:                 s.clock,
 	})
 	var res *Result
 	if s.workers > 1 {
