@@ -59,9 +59,11 @@ func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.D
 		return err
 	}
 	srv := server.New(server.Config{MinMembers: minMembers, AnswerTimeout: timeout})
+	// The server drives the kernel through its own event broker
+	// (Session.RunBroker); WithParallelism only applies to the in-process
+	// RunCrowd/RunParallel drivers and is not needed here.
 	opts := []oassis.Option{
 		oassis.WithSeed(seed),
-		oassis.WithParallelism(2 * minMembers),
 	}
 	if k > 0 {
 		opts = append(opts, oassis.WithAggregator(oassis.NewMeanAggregator(k, q.Satisfying.Support)))

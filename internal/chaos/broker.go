@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+
+	"oassis/internal/crowd"
+)
+
+// FaultyBroker decorates a crowd.Broker with per-member faults, injected
+// at the ask/reply event level: departure rolls and latency happen on
+// the way in, contradictions replace the reply on the way out. Because
+// every execution mode — sequential, worker pool, HTTP platform — now
+// reaches the crowd through a Broker, wrapping the broker gives chaos
+// coverage to all of them at once, where FaultyMember could only cover
+// in-process member pools.
+type FaultyBroker struct {
+	inner  crowd.Broker
+	clock  Clock
+	faults map[string]Faults
+
+	mu     sync.Mutex
+	states map[string]*brokerMemberState
+}
+
+// brokerMemberState is the per-member fault progress, mirroring
+// FaultyMember's internals.
+type brokerMemberState struct {
+	rng       *rand.Rand
+	asked     int
+	departed  bool
+	timedOnce bool
+}
+
+// WrapBroker builds a FaultyBroker over inner. faults maps member IDs to
+// their fault configuration; members without an entry behave normally.
+// Latency is slept on clock (nil uses the wall clock).
+func WrapBroker(inner crowd.Broker, clock Clock, faults map[string]Faults) *FaultyBroker {
+	if clock == nil {
+		clock = Real()
+	}
+	return &FaultyBroker{
+		inner:  inner,
+		clock:  clock,
+		faults: faults,
+		states: make(map[string]*brokerMemberState),
+	}
+}
+
+// Departed reports whether the member's fault state says they left.
+func (b *FaultyBroker) Departed(member string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[member]
+	return ok && st.departed
+}
+
+// Post implements crowd.Broker: it runs the fault preamble for the
+// addressed member (departure roll, latency sleep, contradiction roll),
+// then either fabricates a reply (departure, contradiction) or forwards
+// the ask to the inner broker, adding the injected latency to the
+// reply's Elapsed so answer-deadline machinery sees it.
+func (b *FaultyBroker) Post(ask *crowd.Ask, deliver func(crowd.Reply)) {
+	f, ok := b.faults[ask.Member]
+	if !ok {
+		b.inner.Post(ask, deliver)
+		return
+	}
+	b.mu.Lock()
+	st := b.states[ask.Member]
+	if st == nil {
+		st = &brokerMemberState{rng: rand.New(rand.NewSource(f.Seed))}
+		b.states[ask.Member] = st
+	}
+	if st.departed {
+		b.mu.Unlock()
+		deliver(crowd.Reply{Ask: ask, Outcome: crowd.Departed, Choice: -1})
+		return
+	}
+	st.asked++
+	if (f.DepartAfter > 0 && st.asked > f.DepartAfter) ||
+		(f.DepartProb > 0 && st.rng.Float64() < f.DepartProb) {
+		st.departed = true
+		b.mu.Unlock()
+		deliver(crowd.Reply{Ask: ask, Outcome: crowd.Departed, Choice: -1})
+		return
+	}
+	delay := f.latency(st.rng)
+	if f.TimeoutOnce > 0 && !st.timedOnce {
+		st.timedOnce = true
+		delay += f.TimeoutOnce
+	}
+	contradict := f.ContradictProb > 0 && st.rng.Float64() < f.ContradictProb
+	var support float64
+	choice := -1
+	if contradict {
+		support = crowd.UIScale[st.rng.Intn(len(crowd.UIScale))]
+		if ask.Kind == crowd.SpecializeAsk {
+			choice = st.rng.Intn(len(ask.Options)+1) - 1
+		}
+	}
+	b.mu.Unlock()
+	if delay > 0 {
+		b.clock.Sleep(delay)
+	}
+	if contradict {
+		deliver(crowd.Reply{
+			Ask:     ask,
+			Outcome: crowd.Answered,
+			Support: support,
+			Choice:  choice,
+			Elapsed: delay,
+		})
+		return
+	}
+	b.inner.Post(ask, func(r crowd.Reply) {
+		r.Elapsed += delay
+		deliver(r)
+	})
+}
+
+var _ crowd.Broker = (*FaultyBroker)(nil)

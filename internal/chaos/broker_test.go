@@ -1,0 +1,134 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"oassis/internal/chaos"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/paperdata"
+)
+
+// collect posts one concrete ask for member index 0 and returns the
+// synchronously delivered reply.
+func collect(b crowd.Broker, id int64, member string, fs ontology.FactSet) crowd.Reply {
+	var got crowd.Reply
+	b.Post(&crowd.Ask{ID: id, Member: member, Index: 0, Kind: crowd.ConcreteAsk, Target: fs},
+		func(r crowd.Reply) { got = r })
+	return got
+}
+
+func TestFaultyBrokerPassthrough(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	clock := chaos.NewVirtualClock()
+	inner := crowd.NewMemberBroker([]crowd.Member{table3Member(t, "u1")}, clock.Now)
+	// No faults entry for u1: every ask must pass straight through.
+	fb := chaos.WrapBroker(inner, clock, map[string]chaos.Faults{"other": {DepartAfter: 1}})
+	ref := table3Member(t, "u1")
+	for i, fs := range du1 {
+		want := ref.AskConcrete(fs)
+		got := collect(fb, int64(i+1), "u1", fs)
+		if got.Outcome != crowd.Answered || got.Support != want.Support {
+			t.Fatalf("faultless passthrough changed reply %d: %+v vs %+v", i, got, want)
+		}
+	}
+	if fb.Departed("u1") || fb.Departed("other") {
+		t.Fatal("Departed reported for members that never departed")
+	}
+}
+
+func TestFaultyBrokerDepartAfter(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	fs := du1[0]
+	clock := chaos.NewVirtualClock()
+	inner := crowd.NewMemberBroker([]crowd.Member{table3Member(t, "u1")}, clock.Now)
+	fb := chaos.WrapBroker(inner, clock, map[string]chaos.Faults{"u1": {Seed: 1, DepartAfter: 2}})
+	for i := 0; i < 2; i++ {
+		if r := collect(fb, int64(i+1), "u1", fs); r.Outcome != crowd.Answered {
+			t.Fatalf("ask %d: outcome %v, want Answered", i+1, r.Outcome)
+		}
+	}
+	if fb.Departed("u1") {
+		t.Fatal("Departed true before the departure ask")
+	}
+	for i := 0; i < 2; i++ {
+		if r := collect(fb, int64(i+3), "u1", fs); r.Outcome != crowd.Departed {
+			t.Fatalf("ask after departure: outcome %v, want Departed", r.Outcome)
+		}
+	}
+	if !fb.Departed("u1") {
+		t.Fatal("Departed false after departure")
+	}
+}
+
+func TestFaultyBrokerElapsedIncludesLatency(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	clock := chaos.NewVirtualClock()
+	inner := crowd.NewMemberBroker([]crowd.Member{table3Member(t, "u1")}, clock.Now)
+	fb := chaos.WrapBroker(inner, clock, map[string]chaos.Faults{
+		"u1": {Seed: 1, LatencyMin: 45 * time.Second},
+	})
+	r := collect(fb, 1, "u1", du1[0])
+	if r.Elapsed != 45*time.Second {
+		t.Fatalf("Elapsed = %v, want the injected 45s", r.Elapsed)
+	}
+	// TimeoutOnce stacks on the first ask only.
+	clock2 := chaos.NewVirtualClock()
+	inner2 := crowd.NewMemberBroker([]crowd.Member{table3Member(t, "u1")}, clock2.Now)
+	fb2 := chaos.WrapBroker(inner2, clock2, map[string]chaos.Faults{
+		"u1": {Seed: 1, LatencyMin: time.Second, TimeoutOnce: 10 * time.Minute},
+	})
+	if r := collect(fb2, 1, "u1", du1[0]); r.Elapsed != 10*time.Minute+time.Second {
+		t.Fatalf("first Elapsed = %v, want 10m1s", r.Elapsed)
+	}
+	if r := collect(fb2, 2, "u1", du1[0]); r.Elapsed != time.Second {
+		t.Fatalf("second Elapsed = %v, want 1s", r.Elapsed)
+	}
+}
+
+// TestFaultyBrokerMatchesFaultyMember pins the contract that event-level
+// fault injection misbehaves identically to member-level injection under
+// the same seed and configuration: same supports, same departure point,
+// same virtual timeline.
+func TestFaultyBrokerMatchesFaultyMember(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	fs := du1[0]
+	f := chaos.Faults{
+		Seed:           42,
+		LatencyMin:     5 * time.Second,
+		LatencyMax:     2 * time.Minute,
+		HeavyTailAlpha: 1.1,
+		ContradictProb: 0.3,
+		DepartProb:     0.05,
+	}
+	const n = 50
+
+	memberClock := chaos.NewVirtualClock()
+	fm := chaos.Wrap(table3Member(t, "u1"), memberClock, f)
+	memberTrace := ""
+	for i := 0; i < n; i++ {
+		resp := fm.AskConcrete(fs)
+		memberTrace += fmt.Sprintf("%v|%.3f|%v;", memberClock.Elapsed(), resp.Support, resp.Departed)
+	}
+
+	brokerClock := chaos.NewVirtualClock()
+	inner := crowd.NewMemberBroker([]crowd.Member{table3Member(t, "u1")}, brokerClock.Now)
+	fb := chaos.WrapBroker(inner, brokerClock, map[string]chaos.Faults{"u1": f})
+	brokerTrace := ""
+	for i := 0; i < n; i++ {
+		r := collect(fb, int64(i+1), "u1", fs)
+		brokerTrace += fmt.Sprintf("%v|%.3f|%v;",
+			brokerClock.Elapsed(), r.Support, r.Outcome == crowd.Departed)
+	}
+
+	if memberTrace != brokerTrace {
+		t.Fatalf("member-level and event-level injection diverged:\n%s\nvs\n%s",
+			memberTrace, brokerTrace)
+	}
+}

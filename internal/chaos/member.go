@@ -128,7 +128,7 @@ func (m *FaultyMember) preamble() (bool, bool) {
 		m.mu.Unlock()
 		return true, false
 	}
-	delay := m.latency()
+	delay := m.f.latency(m.rng)
 	if m.f.TimeoutOnce > 0 && !m.timedOnce {
 		m.timedOnce = true
 		delay += m.f.TimeoutOnce
@@ -141,22 +141,24 @@ func (m *FaultyMember) preamble() (bool, bool) {
 	return false, contradict
 }
 
-// latency samples the configured think-time distribution. Callers hold m.mu.
-func (m *FaultyMember) latency() time.Duration {
-	min, max := m.f.LatencyMin, m.f.LatencyMax
-	if m.f.HeavyTailAlpha > 0 && min > 0 {
-		u := m.rng.Float64()
+// latency samples the configured think-time distribution from the given
+// RNG. Shared by FaultyMember and FaultyBroker so member-level and
+// event-level fault injection misbehave identically.
+func (f Faults) latency(rng *rand.Rand) time.Duration {
+	min, max := f.LatencyMin, f.LatencyMax
+	if f.HeavyTailAlpha > 0 && min > 0 {
+		u := rng.Float64()
 		if u < 1e-12 {
 			u = 1e-12
 		}
-		d := time.Duration(float64(min) * math.Pow(u, -1/m.f.HeavyTailAlpha))
+		d := time.Duration(float64(min) * math.Pow(u, -1/f.HeavyTailAlpha))
 		if max > 0 && d > max {
 			d = max
 		}
 		return d
 	}
 	if max > min {
-		return min + time.Duration(m.rng.Int63n(int64(max-min)))
+		return min + time.Duration(rng.Int63n(int64(max-min)))
 	}
 	return min
 }

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"oassis/internal/chaos"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/paperdata"
+)
+
+// TestChaosFaultsThroughBroker reruns the quarter-of-the-crowd-departs
+// scenario with the faults injected at the broker (event) layer instead of
+// wrapping each member: plain members behind a MemberBroker, wrapped once
+// with a FaultyBroker, driven via Engine.RunWith. The results must match
+// member-level injection — same MSP set, same departure count — proving
+// that fault injection composes with every driver that reaches the crowd
+// through a Broker.
+func TestChaosFaultsThroughBroker(t *testing.T) {
+	sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+	cfg := core.EngineConfig{
+		Theta:      0.4,
+		Aggregator: crowd.NewMeanAggregator(5, 0.4),
+		Seed:       1,
+	}
+	mkFaults := func() []chaos.Faults {
+		faults := make([]chaos.Faults, 8)
+		for i := range faults {
+			faults[i].Seed = int64(100 + i)
+			faults[i].LatencyMin = 30 * time.Second
+		}
+		faults[1].DepartAfter = 1
+		faults[4].DepartAfter = 2
+		faults[6].DepartAfter = 3
+		return faults
+	}
+
+	// Reference: member-level injection, the pre-existing chaos path.
+	refClock := chaos.NewVirtualClock()
+	ref := core.NewEngine(sp, chaosCrowd(v, refClock, mkFaults()), cfg).Run()
+
+	// Event-level injection: fault-free members (wrapped only to give each
+	// clone a distinct ID), faults applied to the ask/reply stream.
+	clock := chaos.NewVirtualClock()
+	members := make([]crowd.Member, 8)
+	faultMap := make(map[string]chaos.Faults, 8)
+	for i, f := range mkFaults() {
+		id := fmt.Sprintf("m%02d", i)
+		members[i] = chaos.Wrap(newAvgMember(v), clock, chaos.Faults{ID: id})
+		faultMap[id] = f
+	}
+	broker := chaos.WrapBroker(crowd.NewMemberBroker(members, clock.Now), clock, faultMap)
+	res := core.NewEngine(sp, members, cfg).RunWith(broker)
+
+	if res.Stats.Departures != ref.Stats.Departures {
+		t.Fatalf("Departures = %d via broker, %d via members",
+			res.Stats.Departures, ref.Stats.Departures)
+	}
+	if got, want := mspKeys(res), mspKeys(ref); got != want {
+		t.Fatalf("broker-level faults changed the MSP set:\n%s\nvs\n%s", got, want)
+	}
+	for _, id := range []string{"m01", "m04", "m06"} {
+		if !broker.Departed(id) {
+			t.Errorf("broker does not report %s departed", id)
+		}
+	}
+	if clock.Elapsed() == 0 {
+		t.Fatal("virtual clock never advanced — latency was not injected")
+	}
+}

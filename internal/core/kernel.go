@@ -1,0 +1,680 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"oassis/internal/assign"
+	"oassis/internal/crowd"
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// kernel is the event-driven mining core: the paper's QueueManager
+// (Section 6.1) as a pure state machine. It owns every piece of mining
+// state — the global classifier, the aggregator, per-member sessions,
+// calibration, bans, strike-outs — and interacts with the world only
+// through ask/reply events:
+//
+//	beginRound() -> []*crowd.Ask   select the next question per member
+//	apply(reply)                   fold one resolved question back in
+//
+// There are no locks, no clocks and no I/O in here. Time enters only as
+// Reply.Elapsed (measured by whatever broker carried the question), and
+// concurrency is entirely the caller's business: drivers run rounds
+// bulk-synchronously (select → dispatch → apply at the barrier, in
+// member order), which makes every driver — sequential, worker pool,
+// HTTP platform — produce the same transcripts by construction.
+type kernel struct {
+	space *assign.Space
+	cfg   EngineConfig
+
+	agg     crowd.Aggregator
+	global  *assign.Classifier
+	tracker *progressTracker
+	stats   Stats
+	rng     *rand.Rand
+
+	byKey map[string]*assign.Assignment
+	succs map[string][]*assign.Assignment
+
+	// decided freezes the first aggregator verdict per assignment.
+	decided map[string]crowd.Decision
+
+	users   []*userState
+	checker *crowd.ConsistencyChecker
+
+	// probes is the calibration chain, built on the first round.
+	probes      []*assign.Assignment
+	probesBuilt bool
+
+	confirmed map[string]bool
+	stopped   bool
+
+	// quota is the aggregator's answers-per-assignment target (0 when
+	// unknown); inFlight counts the current round's asks per assignment
+	// so the kernel never schedules more answers than the quota needs —
+	// the crowd spreads across the frontier instead of dog-piling one
+	// node, matching what the apply-as-you-go sequential loop did.
+	quota    int
+	inFlight map[string]int
+
+	nextAskID int64
+	// transcripts records, per member, every usable answer in order —
+	// the driver-independent interview log the differential tests
+	// compare across execution modes. Nil unless cfg.RecordTranscript.
+	transcripts map[string][]string
+}
+
+// userState tracks one member's session. answers records the member's
+// support value per assignment key; it gates the member's own descent
+// (modification 4 of Section 4.2). Note the Section 4.2 preamble:
+// multi-user inferences are drawn from the GLOBALLY collected knowledge —
+// a member's personal no blocks their own inner-loop dive, but they may
+// still be asked below it when the outer loop reaches there through
+// globally classified assignments ("this may lead to some redundant
+// questions", which the paper accepts for better pruning).
+type userState struct {
+	id      string
+	index   int
+	answers map[string]float64
+	pruned  map[vocab.TermID]bool
+	asked   int
+	banned  bool
+	// departed marks a member who left mid-run (a Departed reply or
+	// too many deadline overruns); the kernel stops asking them and the
+	// run degrades gracefully to the surviving crowd.
+	departed bool
+	// timeouts counts consecutive answer-deadline overruns.
+	timeouts int
+	// probeIdx is the member's position in the calibration chain.
+	probeIdx int
+	// pending is the in-flight ask, between beginRound and apply.
+	pending *pendingAsk
+}
+
+// pendingAsk keeps the kernel-side context of an emitted Ask: the
+// assignment(s) the reply must be folded back into.
+type pendingAsk struct {
+	ask    *crowd.Ask
+	target *assign.Assignment   // ConcreteAsk
+	base   *assign.Assignment   // SpecializeAsk
+	open   []*assign.Assignment // SpecializeAsk candidates, = ask.Options
+	probe  bool                 // calibration probe
+}
+
+// answeredYes reports whether the member answered the assignment with
+// support at or above the threshold.
+func (u *userState) answeredYes(key string, theta float64) bool {
+	s, ok := u.answers[key]
+	return ok && s >= theta
+}
+
+// newKernel builds the mining state machine for the given member IDs.
+func newKernel(sp *assign.Space, ids []string, cfg EngineConfig) *kernel {
+	agg := cfg.Aggregator
+	if agg == nil {
+		agg = crowd.NewMeanAggregator(5, cfg.Theta)
+	}
+	k := &kernel{
+		space:     sp,
+		cfg:       cfg,
+		agg:       agg,
+		global:    assign.NewClassifier(sp),
+		tracker:   newProgressTracker(sp),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		byKey:     make(map[string]*assign.Assignment),
+		succs:     make(map[string][]*assign.Assignment),
+		decided:   make(map[string]crowd.Decision),
+		confirmed: make(map[string]bool),
+	}
+	if cfg.Consistency {
+		k.checker = crowd.NewConsistencyChecker(sp.Vocabulary())
+	}
+	if qc, ok := agg.(crowd.QuotaCarrier); ok {
+		k.quota = qc.Quota()
+	}
+	if cfg.RecordTranscript {
+		k.transcripts = make(map[string][]string)
+	}
+	for i, id := range ids {
+		k.users = append(k.users, &userState{
+			id:      id,
+			index:   i,
+			answers: make(map[string]float64),
+			pruned:  make(map[vocab.TermID]bool),
+		})
+	}
+	return k
+}
+
+// beginRound selects at most one question per live member, in member
+// order, from the state as of the round start. Auto-answers discovered
+// during selection (pruning inference, already-settled regions) are
+// folded in immediately, exactly as the sequential loop did. An empty
+// round means no member can contribute: the run is over.
+func (k *kernel) beginRound() []*crowd.Ask {
+	if k.stopped {
+		return nil
+	}
+	k.inFlight = make(map[string]int)
+	var asks []*crowd.Ask
+	for _, u := range k.users {
+		if k.stopped {
+			break
+		}
+		if a := k.selectAsk(u); a != nil {
+			asks = append(asks, a)
+		}
+	}
+	if len(asks) > 0 {
+		k.stats.Rounds++
+		k.stats.Asked += len(asks)
+		if len(asks) > k.stats.PeakInFlight {
+			k.stats.PeakInFlight = len(asks)
+		}
+	}
+	return asks
+}
+
+// selectAsk picks the member's next question: their calibration probes
+// first (the Section 4.2 "preliminary step"), then the DAG traversal.
+func (k *kernel) selectAsk(u *userState) *crowd.Ask {
+	if u.banned || u.departed || u.pending != nil {
+		return nil
+	}
+	if k.cfg.MaxQuestionsPerMember > 0 && u.asked >= k.cfg.MaxQuestionsPerMember {
+		return nil
+	}
+	if k.checker != nil && k.cfg.CalibrationQuestions > 0 {
+		if ask := k.selectProbe(u); ask != nil {
+			return ask
+		}
+	}
+	return k.selectMining(u)
+}
+
+// selectProbe walks the member through the calibration chain, one probe
+// per round. The chain's members are pairwise comparable, so the
+// consistency checker can judge monotonicity immediately; members
+// flagged here never influence the mining phase. Calibration answers
+// still count as questions and feed the aggregator (honest answers
+// about general assignments are useful work).
+func (k *kernel) selectProbe(u *userState) *crowd.Ask {
+	if !k.probesBuilt {
+		k.probes = k.probeChain(k.cfg.CalibrationQuestions)
+		k.probesBuilt = true
+	}
+	for u.probeIdx < len(k.probes) {
+		p := k.probes[u.probeIdx]
+		if _, answered := u.answers[p.Key()]; answered {
+			u.probeIdx++
+			continue
+		}
+		if k.assignmentPruned(u, p) {
+			k.recordAnswer(u, p, 0, true)
+			u.probeIdx++
+			continue
+		}
+		return k.emitConcrete(u, p, true)
+	}
+	return nil
+}
+
+// probeChain walks from a root down first-successor edges, yielding up
+// to n pairwise comparable assignments.
+func (k *kernel) probeChain(n int) []*assign.Assignment {
+	roots := k.roots()
+	if len(roots) == 0 {
+		return nil
+	}
+	chain := []*assign.Assignment{roots[0]}
+	cur := roots[0]
+	for len(chain) < n {
+		succs := k.successors(cur)
+		if len(succs) == 0 {
+			break
+		}
+		cur = succs[0]
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// selectMining navigates from the roots through descendable assignments
+// to the first question this member should answer — the traversal of
+// Section 4.2 with all five modifications. Nil means the member has
+// nothing to do this round (other members' answers may unlock them
+// later).
+func (k *kernel) selectMining(u *userState) *crowd.Ask {
+	queue := k.roots()
+	seen := make(map[string]bool, len(queue))
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		if seen[a.Key()] {
+			continue
+		}
+		seen[a.Key()] = true
+
+		if k.globalStatus(a) == assign.Insignificant {
+			continue // pruned globally (modification 4)
+		}
+		if k.globalStatus(a) == assign.Significant {
+			// Globally settled significant: descend regardless of
+			// this member's own view (the outer loop must still
+			// collect their answers for deeper, undecided nodes —
+			// the Section 4.2 refinement), without re-asking.
+			if u.answeredYes(a.Key(), k.cfg.Theta) {
+				if ask := k.maybeSpecialize(u, a); ask != nil {
+					return ask
+				}
+			}
+			queue = append(queue, k.successors(a)...)
+			continue
+		}
+		// Globally undecided: collect this member's answer if missing.
+		if _, answered := u.answers[a.Key()]; !answered {
+			if k.assignmentPruned(u, a) {
+				// Auto-answer 0 from an earlier pruning click.
+				k.recordAnswer(u, a, 0, true)
+				continue
+			}
+			if k.coveredInFlight(a) {
+				// Enough answers are already scheduled this round
+				// to reach the aggregator's quota; this member's
+				// effort is better spent elsewhere on the frontier.
+				continue
+			}
+			return k.emitConcrete(u, a, false)
+		}
+		// Answered: the member dives below only after a personal yes
+		// (modification 4); a personal no leaves the region to others.
+		if u.answeredYes(a.Key(), k.cfg.Theta) {
+			if ask := k.maybeSpecialize(u, a); ask != nil {
+				return ask
+			}
+			queue = append(queue, k.successors(a)...)
+		}
+	}
+	return nil
+}
+
+// maybeSpecialize rolls the question-type choice at a personally-
+// significant assignment and, when specialization is drawn and useful,
+// emits it.
+func (k *kernel) maybeSpecialize(u *userState, base *assign.Assignment) *crowd.Ask {
+	if k.cfg.SpecializationRatio <= 0 || k.rng.Float64() >= k.cfg.SpecializationRatio {
+		return nil
+	}
+	var open []*assign.Assignment
+	for _, succ := range k.successors(base) {
+		if k.globalStatus(succ) != assign.Unknown {
+			continue
+		}
+		if _, answered := u.answers[succ.Key()]; answered {
+			continue
+		}
+		if k.assignmentPruned(u, succ) {
+			k.recordAnswer(u, succ, 0, true)
+			continue
+		}
+		open = append(open, succ)
+	}
+	if len(open) < 2 {
+		return nil
+	}
+	cands := make([]ontology.FactSet, len(open))
+	for i, o := range open {
+		cands[i] = k.space.Instantiate(o)
+	}
+	k.nextAskID++
+	ask := &crowd.Ask{
+		ID:      k.nextAskID,
+		Member:  u.id,
+		Index:   u.index,
+		Kind:    crowd.SpecializeAsk,
+		Base:    k.space.Instantiate(base),
+		Options: cands,
+	}
+	u.pending = &pendingAsk{ask: ask, base: base, open: open}
+	return ask
+}
+
+// coveredInFlight reports whether this round already scheduled enough
+// asks for the assignment to satisfy the aggregator's remaining quota.
+// Calibration probes bypass this: every member is probed by design.
+func (k *kernel) coveredInFlight(a *assign.Assignment) bool {
+	if k.quota <= 0 {
+		return false
+	}
+	need := k.quota - k.agg.Answers(a.Key())
+	if need < 1 {
+		need = 1
+	}
+	return k.inFlight[a.Key()] >= need
+}
+
+// emitConcrete builds the Ask event for one concrete question.
+func (k *kernel) emitConcrete(u *userState, a *assign.Assignment, probe bool) *crowd.Ask {
+	k.nextAskID++
+	ask := &crowd.Ask{
+		ID:     k.nextAskID,
+		Member: u.id,
+		Index:  u.index,
+		Kind:   crowd.ConcreteAsk,
+		Target: k.space.Instantiate(a),
+	}
+	u.pending = &pendingAsk{ask: ask, target: a, probe: probe}
+	k.inFlight[a.Key()]++
+	return ask
+}
+
+// apply folds one resolved question back into the mining state. Drivers
+// call it at the round barrier, in ask order, so the fold sequence is
+// identical no matter how replies actually arrived.
+func (k *kernel) apply(r crowd.Reply) {
+	if r.Ask == nil || r.Ask.Index < 0 || r.Ask.Index >= len(k.users) {
+		return
+	}
+	u := k.users[r.Ask.Index]
+	p := u.pending
+	if p == nil || p.ask != r.Ask {
+		return // not the in-flight ask; ignore
+	}
+	u.pending = nil
+	if p.probe {
+		// The chain advances per attempt: a probe that produced no
+		// usable answer is skipped, not retried (calibration is a
+		// bounded preliminary, not a mining obligation).
+		u.probeIdx++
+	}
+	if k.stopped {
+		// A top-k run ended while this question was in flight; the
+		// answer arrived for nothing.
+		k.stats.Discarded++
+		return
+	}
+	if r.Outcome == crowd.Departed {
+		if !u.departed {
+			u.departed = true
+			k.stats.Departures++
+		}
+		return
+	}
+	deadline := k.cfg.AnswerDeadline
+	if r.Outcome == crowd.TimedOut || (deadline > 0 && r.Elapsed > deadline) {
+		// The answer is stale: the member may have seen a question
+		// whose context has moved on. Discard it; the traversal
+		// re-poses the assignment on the member's next turn.
+		k.stats.TimedOut++
+		k.stats.Discarded++
+		u.timeouts++
+		max := k.cfg.MaxAnswerTimeouts
+		if max <= 0 {
+			max = 3
+		}
+		if u.timeouts >= max {
+			u.departed = true
+			k.stats.Departures++
+		}
+		return
+	}
+	u.timeouts = 0
+	u.asked++
+	k.stats.Questions++
+	switch p.ask.Kind {
+	case crowd.ConcreteAsk:
+		k.stats.ConcreteQ++
+		if len(r.Pruned) > 0 {
+			k.stats.PruneClicks++
+			for _, t := range r.Pruned {
+				u.pruned[t] = true
+			}
+		}
+		k.transcribe(u, "concrete "+p.target.Key())
+		k.recordAnswer(u, p.target, r.Support, false)
+	case crowd.SpecializeAsk:
+		k.stats.SpecialQ++
+		if r.Choice < 0 || r.Choice >= len(p.open) {
+			k.stats.NoneOfThese++
+			k.stats.AutoAnswers += len(p.open) - 1
+			k.transcribe(u, "specialize "+p.base.Key()+" -> none")
+			for _, o := range p.open {
+				k.recordAnswer(u, o, 0, true)
+			}
+		} else {
+			k.transcribe(u, "specialize "+p.base.Key()+" -> "+p.open[r.Choice].Key())
+			k.recordAnswer(u, p.open[r.Choice], r.Support, false)
+		}
+	}
+	k.tracker.sample(&k.stats)
+	k.reviewBan(u)
+}
+
+// transcribe appends one interview-log line for the member.
+func (k *kernel) transcribe(u *userState, line string) {
+	if k.transcripts != nil {
+		k.transcripts[u.id] = append(k.transcripts[u.id], line)
+	}
+}
+
+// reviewBan applies the Section 4.2 spammer filter after an answer.
+func (k *kernel) reviewBan(u *userState) {
+	if k.checker == nil || u.banned || !k.checker.IsSpammer(u.id) {
+		return
+	}
+	u.banned = true
+	if tw, ok := k.agg.(*crowd.TrustWeightedAggregator); ok {
+		tw.SetTrust(u.id, 0)
+	}
+}
+
+// recordAnswer feeds one member answer into the member's answer log, the
+// aggregator, the consistency checker and — when the aggregator reaches a
+// verdict — the global classifier. auto marks answers obtained without a
+// question (pruning inference, none-of-these fan-out).
+func (k *kernel) recordAnswer(u *userState, a *assign.Assignment, support float64, auto bool) {
+	u.answers[a.Key()] = support
+	if auto {
+		k.stats.AutoAnswers++
+	}
+	if k.checker != nil && !auto {
+		k.checker.Record(u.id, k.space.Instantiate(a), support)
+	}
+	if _, settled := k.decided[a.Key()]; settled {
+		return
+	}
+	k.agg.Add(a.Key(), u.id, support)
+	if d := k.agg.Decide(a.Key()); d != crowd.Undecided {
+		k.settle(a, d)
+	}
+}
+
+// settle freezes the aggregator verdict and updates the global classifier.
+func (k *kernel) settle(a *assign.Assignment, d crowd.Decision) {
+	k.decided[a.Key()] = d
+	if d == crowd.OverallSignificant {
+		if k.global.Status(a) != assign.Significant {
+			k.global.MarkSignificant(a)
+			k.tracker.onMark(a, true)
+		}
+	} else {
+		if k.global.Status(a) != assign.Insignificant {
+			k.global.MarkInsignificant(a)
+			k.tracker.onMark(a, false)
+		}
+	}
+	k.checkConfirmations()
+}
+
+// finalize decides assignments whose answers never reached the aggregator's
+// quota: with at least one answer the mean decides; untouched assignments
+// reachable from the roots are conservatively insignificant.
+func (k *kernel) finalize() {
+	if k.stopped {
+		// A top-k run ends as soon as k MSPs are confirmed; the
+		// unexplored remainder stays unclassified by design.
+		return
+	}
+	keys := make([]string, 0, len(k.byKey))
+	for key := range k.byKey {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		a := k.byKey[key]
+		if _, settled := k.decided[key]; settled {
+			continue
+		}
+		if k.globalStatus(a) != assign.Unknown {
+			continue
+		}
+		if k.agg.Answers(key) > 0 && k.agg.Support(key) >= k.cfg.Theta {
+			k.settle(a, crowd.OverallSignificant)
+		} else {
+			k.settle(a, crowd.OverallInsignificant)
+		}
+	}
+}
+
+func (k *kernel) globalStatus(a *assign.Assignment) assign.Status {
+	return k.global.Status(a)
+}
+
+func (k *kernel) assignmentPruned(u *userState, a *assign.Assignment) bool {
+	if len(u.pruned) == 0 {
+		return false
+	}
+	v := k.space.Vocabulary()
+	for _, vs := range k.space.Vars() {
+		if vs.Kind != vocab.Element {
+			continue
+		}
+		for _, val := range a.Values(vs.Name) {
+			for p := range u.pruned {
+				if v.LeqE(p, val) {
+					return true
+				}
+			}
+		}
+	}
+	for _, f := range a.More() {
+		for p := range u.pruned {
+			if (f.S != ontology.Any && v.LeqE(p, f.S)) ||
+				(f.O != ontology.Any && v.LeqE(p, f.O)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (k *kernel) intern(a *assign.Assignment) *assign.Assignment {
+	if prev, ok := k.byKey[a.Key()]; ok {
+		return prev
+	}
+	k.byKey[a.Key()] = a
+	k.stats.Generated++
+	return a
+}
+
+func (k *kernel) successors(a *assign.Assignment) []*assign.Assignment {
+	if cached, ok := k.succs[a.Key()]; ok {
+		return cached
+	}
+	out := k.space.Successors(a)
+	for i, x := range out {
+		out[i] = k.intern(x)
+	}
+	k.succs[a.Key()] = out
+	return out
+}
+
+func (k *kernel) roots() []*assign.Assignment {
+	rs := k.space.Roots()
+	for i, r := range rs {
+		rs[i] = k.intern(r)
+	}
+	return rs
+}
+
+func (k *kernel) checkConfirmations() {
+	for _, b := range k.global.SignificantBorder() {
+		if k.confirmed[b.Key()] {
+			continue
+		}
+		done := true
+		for _, succ := range k.successors(b) {
+			if k.global.Status(succ) != assign.Insignificant {
+				done = false
+				break
+			}
+		}
+		if done {
+			k.confirmed[b.Key()] = true
+			k.tracker.onMSP(b)
+			if k.cfg.OnMSP != nil {
+				k.cfg.OnMSP(b)
+			}
+			if k.cfg.MaxMSPs > 0 && len(k.confirmed) >= k.cfg.MaxMSPs {
+				k.stopped = true
+			}
+		}
+	}
+}
+
+func (k *kernel) explain(a *assign.Assignment) []Provenance {
+	var out []Provenance
+	for _, u := range k.users {
+		if s, ok := u.answers[a.Key()]; ok {
+			out = append(out, Provenance{MemberID: u.id, Support: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MemberID < out[j].MemberID })
+	return out
+}
+
+func (k *kernel) flaggedSpammers() []string {
+	if k.checker == nil {
+		return nil
+	}
+	return k.checker.Flagged()
+}
+
+func (k *kernel) result() *Result {
+	res := &Result{Stats: k.stats, Supports: make(map[string]float64)}
+	for key := range k.byKey {
+		if k.agg.Answers(key) > 0 {
+			res.Supports[key] = k.agg.Support(key)
+		}
+	}
+	if k.transcripts != nil {
+		res.Transcripts = k.transcripts
+	}
+	border := append([]*assign.Assignment{}, k.global.SignificantBorder()...)
+	if k.stopped {
+		border = border[:0]
+		for _, b := range k.global.SignificantBorder() {
+			if k.confirmed[b.Key()] {
+				border = append(border, b)
+			}
+		}
+	}
+	sort.Slice(border, func(i, j int) bool { return border[i].Key() < border[j].Key() })
+	res.MSPs = border
+	for _, b := range border {
+		if k.space.IsValid(b) {
+			res.ValidMSPs = append(res.ValidMSPs, b)
+		}
+	}
+	for _, a := range k.byKey {
+		if k.global.Status(a) == assign.Significant {
+			res.Significant = append(res.Significant, a)
+		}
+	}
+	sort.Slice(res.Significant, func(i, j int) bool {
+		return res.Significant[i].Key() < res.Significant[j].Key()
+	})
+	return res
+}

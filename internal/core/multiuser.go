@@ -1,16 +1,12 @@
 package core
 
 import (
-	"math/rand"
 	"sort"
-	"sync"
 	"time"
 
 	"oassis/internal/assign"
 	"oassis/internal/chaos"
 	"oassis/internal/crowd"
-	"oassis/internal/ontology"
-	"oassis/internal/vocab"
 )
 
 // EngineConfig parameterizes the multi-user evaluation of Section 4.2.
@@ -45,510 +41,126 @@ type EngineConfig struct {
 	OnMSP func(*assign.Assignment)
 	// Seed drives question-type choices.
 	Seed int64
-	// AnswerDeadline bounds how long one answer may take on the engine's
-	// Clock. An answer arriving later is discarded (it is stale: the
-	// member may have seen a question whose context has moved on) and the
-	// member is re-asked on their next turn; after MaxAnswerTimeouts
-	// consecutive overruns the member is treated as departed. 0 waits
-	// forever (the pre-chaos behaviour).
+	// AnswerDeadline bounds how long one answer may take, as measured by
+	// the broker carrying the question (Reply.Elapsed). An answer
+	// arriving later is discarded (it is stale: the member may have seen
+	// a question whose context has moved on) and the member is re-asked
+	// on their next turn; after MaxAnswerTimeouts consecutive overruns
+	// the member is treated as departed. 0 waits forever (the pre-chaos
+	// behaviour).
 	AnswerDeadline time.Duration
 	// MaxAnswerTimeouts is the consecutive-overrun budget before a slow
 	// member is dropped; 0 means the default of 3.
 	MaxAnswerTimeouts int
-	// Clock is the time source for answer deadlines; nil uses the wall
-	// clock. Chaos tests inject a chaos.VirtualClock so slow-member
-	// scenarios replay deterministically in zero wall time.
+	// Clock is the time source the in-process member broker uses to
+	// measure answer latency; nil uses the wall clock. Chaos tests
+	// inject a chaos.VirtualClock so slow-member scenarios replay
+	// deterministically in zero wall time. The kernel itself never
+	// reads a clock — external brokers time their own exchanges.
 	Clock chaos.Clock
+	// RecordTranscript collects a per-member interview log into
+	// Result.Transcripts, for differential testing across drivers.
+	RecordTranscript bool
 }
 
-// Engine is the multi-user query evaluator: the paper's QueueManager. It
-// traverses the assignment DAG top-down per member while inferring from the
-// globally collected knowledge, exactly as the five modifications of
-// Section 4.2 describe. Run serves members sequentially and
-// deterministically; RunParallel serves them concurrently.
+// Engine is the multi-user query evaluator: one event-driven mining
+// kernel (see kernel.go) plus interchangeable drivers. Run serves
+// members sequentially and deterministically; RunParallel serves them
+// through a worker pool; RunWith drives any Broker — including
+// asynchronous ones like the HTTP platform. All drivers execute the
+// same bulk-synchronous round protocol (select one question per live
+// member, dispatch, fold replies back in ask order at the barrier), so
+// they produce identical transcripts on the same crowd.
 type Engine struct {
-	// mu guards all engine state during RunParallel; Run never contends.
-	mu sync.Mutex
-
-	space *assign.Space
-	cfg   EngineConfig
-
-	agg     crowd.Aggregator
-	global  *assign.Classifier
-	tracker *progressTracker
-	stats   Stats
-	rng     *rand.Rand
+	k       *kernel
+	members []crowd.Member
 	clock   chaos.Clock
-
-	byKey map[string]*assign.Assignment
-	succs map[string][]*assign.Assignment
-
-	// decided freezes the first aggregator verdict per assignment.
-	decided map[string]crowd.Decision
-
-	users   []*userState
-	checker *crowd.ConsistencyChecker
-
-	confirmed map[string]bool
-	stopped   bool
-}
-
-// userState tracks one member's session. answers records the member's
-// support value per assignment key; it gates the member's own descent
-// (modification 4 of Section 4.2). Note the Section 4.2 preamble:
-// multi-user inferences are drawn from the GLOBALLY collected knowledge —
-// a member's personal no blocks their own inner-loop dive, but they may
-// still be asked below it when the outer loop reaches there through
-// globally classified assignments ("this may lead to some redundant
-// questions", which the paper accepts for better pruning).
-type userState struct {
-	member  crowd.Member
-	answers map[string]float64
-	pruned  map[vocab.TermID]bool
-	asked   int
-	banned  bool
-	// departed marks a member who left mid-run (a Departed response or
-	// too many deadline overruns); the engine stops asking them and the
-	// run degrades gracefully to the surviving crowd.
-	departed bool
-	// timeouts counts consecutive answer-deadline overruns.
-	timeouts int
-}
-
-// answeredYes reports whether the member answered the assignment with
-// support at or above the threshold.
-func (u *userState) answeredYes(key string, theta float64) bool {
-	s, ok := u.answers[key]
-	return ok && s >= theta
 }
 
 // NewEngine builds a multi-user evaluator over the space and member pool.
 func NewEngine(sp *assign.Space, members []crowd.Member, cfg EngineConfig) *Engine {
-	agg := cfg.Aggregator
-	if agg == nil {
-		agg = crowd.NewMeanAggregator(5, cfg.Theta)
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = m.ID()
 	}
-	e := &Engine{
-		space:     sp,
-		cfg:       cfg,
-		agg:       agg,
-		global:    assign.NewClassifier(sp),
-		tracker:   newProgressTracker(sp),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		byKey:     make(map[string]*assign.Assignment),
-		succs:     make(map[string][]*assign.Assignment),
-		decided:   make(map[string]crowd.Decision),
-		confirmed: make(map[string]bool),
-	}
-	e.clock = cfg.Clock
-	if e.clock == nil {
-		e.clock = chaos.Real()
-	}
-	if cfg.Consistency {
-		e.checker = crowd.NewConsistencyChecker(sp.Vocabulary())
-	}
-	for _, m := range members {
-		e.users = append(e.users, &userState{
-			member:  m,
-			answers: make(map[string]float64),
-			pruned:  make(map[vocab.TermID]bool),
-		})
-	}
+	e := newBrokerEngine(sp, ids, cfg)
+	e.members = members
 	return e
 }
 
-// Run drives member sessions round-robin until no member can contribute,
-// then finalizes undecided assignments from the answers gathered so far.
-// A member with nothing to answer in one round is retried in later rounds:
-// other members' answers can settle assignments and unlock new regions.
+// NewBrokerEngine builds an evaluator for a crowd known only by member
+// IDs — the members live behind a Broker (an HTTP platform, a worker
+// fleet) and are reached exclusively through RunWith.
+func NewBrokerEngine(sp *assign.Space, ids []string, cfg EngineConfig) *Engine {
+	return newBrokerEngine(sp, ids, cfg)
+}
+
+func newBrokerEngine(sp *assign.Space, ids []string, cfg EngineConfig) *Engine {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = chaos.Real()
+	}
+	return &Engine{k: newKernel(sp, ids, cfg), clock: clock}
+}
+
+// Run drives member sessions in bulk-synchronous rounds until no member
+// can contribute, then finalizes undecided assignments from the answers
+// gathered so far. Questions are posed inline, one member at a time in
+// member order, so a run over deterministic members (and, with a virtual
+// clock, deterministic faults) replays bit-identically. A member with
+// nothing to answer in one round is retried in later rounds: other
+// members' answers can settle assignments and unlock new regions.
 func (e *Engine) Run() *Result {
-	if e.checker != nil && e.cfg.CalibrationQuestions > 0 {
-		e.calibrate()
-	}
-	for !e.stopped {
-		progress := false
-		for _, u := range e.users {
-			if u.banned || u.departed || e.stopped {
-				continue
-			}
-			if e.cfg.MaxQuestionsPerMember > 0 && u.asked >= e.cfg.MaxQuestionsPerMember {
-				continue
-			}
-			if e.stepUser(u) {
-				progress = true
-			}
-			if e.checker != nil && e.checker.IsSpammer(u.member.ID()) && !u.banned {
-				u.banned = true
-				if tw, ok := e.agg.(*crowd.TrustWeightedAggregator); ok {
-					tw.SetTrust(u.member.ID(), 0)
-				}
-			}
+	b := crowd.NewMemberBroker(e.members, e.clock.Now)
+	return e.drive(func(asks []*crowd.Ask) []crowd.Reply {
+		replies := make([]crowd.Reply, 0, len(asks))
+		for _, a := range asks {
+			b.Post(a, func(r crowd.Reply) {
+				replies = append(replies, r)
+			})
 		}
-		if !progress {
+		return replies
+	})
+}
+
+// RunWith drives the kernel over an arbitrary broker: each round's asks
+// are posted without waiting, replies are collected as they come, and
+// the round closes when every ask has resolved. This is the driver
+// behind the HTTP platform, where answers arrive from the network in
+// any order.
+func (e *Engine) RunWith(b crowd.Broker) *Result {
+	return e.drive(func(asks []*crowd.Ask) []crowd.Reply {
+		ch := make(chan crowd.Reply, len(asks))
+		for _, a := range asks {
+			b.Post(a, func(r crowd.Reply) { ch <- r })
+		}
+		replies := make([]crowd.Reply, 0, len(asks))
+		for range asks {
+			replies = append(replies, <-ch)
+		}
+		return replies
+	})
+}
+
+// drive is the round loop every driver shares: select, dispatch, fold.
+// Replies are applied in ask order regardless of arrival order, which is
+// what makes the drivers behaviorally identical.
+func (e *Engine) drive(dispatch func([]*crowd.Ask) []crowd.Reply) *Result {
+	for {
+		asks := e.k.beginRound()
+		if len(asks) == 0 {
 			break
 		}
-	}
-	e.finalize()
-	return e.result()
-}
-
-// calibrate asks every member about a descending chain of assignments. The
-// chain's members are pairwise comparable, so the consistency checker can
-// judge monotonicity immediately; members flagged here never influence the
-// mining phase. Calibration answers still count as questions and feed the
-// aggregator (honest answers about general assignments are useful work).
-func (e *Engine) calibrate() {
-	probes := e.probeChain(e.cfg.CalibrationQuestions)
-	for _, u := range e.users {
-		for _, p := range probes {
-			if e.assignmentPruned(u, p) {
-				e.recordAnswer(u, p, 0, true)
-				continue
-			}
-			e.askConcreteUser(u, p)
-			if u.departed {
-				break
-			}
-			if e.checker.IsSpammer(u.member.ID()) {
-				u.banned = true
-				if tw, ok := e.agg.(*crowd.TrustWeightedAggregator); ok {
-					tw.SetTrust(u.member.ID(), 0)
-				}
-				break
-			}
+		replies := dispatch(asks)
+		sort.Slice(replies, func(i, j int) bool {
+			return replies[i].Ask.ID < replies[j].Ask.ID
+		})
+		for _, r := range replies {
+			e.k.apply(r)
 		}
 	}
-}
-
-// probeChain walks from a root down first-successor edges, yielding up to n
-// pairwise comparable assignments.
-func (e *Engine) probeChain(n int) []*assign.Assignment {
-	roots := e.roots()
-	if len(roots) == 0 {
-		return nil
-	}
-	chain := []*assign.Assignment{roots[0]}
-	cur := roots[0]
-	for len(chain) < n {
-		succs := e.successors(cur)
-		if len(succs) == 0 {
-			break
-		}
-		cur = succs[0]
-		chain = append(chain, cur)
-	}
-	return chain
-}
-
-// stepUser advances one member by (at most) one question: it navigates from
-// the roots through descendable assignments to the first one this member
-// should answer. It reports false when the member has nothing left to do.
-func (e *Engine) stepUser(u *userState) bool {
-	queue := e.roots()
-	seen := make(map[string]bool, len(queue))
-	for len(queue) > 0 {
-		a := queue[0]
-		queue = queue[1:]
-		if seen[a.Key()] {
-			continue
-		}
-		seen[a.Key()] = true
-
-		if e.globalStatus(a) == assign.Insignificant {
-			continue // pruned globally (modification 4)
-		}
-		if e.globalStatus(a) == assign.Significant {
-			// Globally settled significant: descend regardless of
-			// this member's own view (the outer loop must still
-			// collect their answers for deeper, undecided nodes —
-			// the Section 4.2 refinement), without re-asking.
-			if u.answeredYes(a.Key(), e.cfg.Theta) && e.maybeSpecialize(u, a) {
-				return true
-			}
-			queue = append(queue, e.successors(a)...)
-			continue
-		}
-		// Globally undecided: collect this member's answer if missing.
-		if _, answered := u.answers[a.Key()]; !answered {
-			if e.assignmentPruned(u, a) {
-				// Auto-answer 0 from an earlier pruning click.
-				e.recordAnswer(u, a, 0, true)
-				continue
-			}
-			e.askConcreteUser(u, a)
-			return true
-		}
-		// Answered: the member dives below only after a personal yes
-		// (modification 4); a personal no leaves the region to others.
-		if u.answeredYes(a.Key(), e.cfg.Theta) {
-			if e.maybeSpecialize(u, a) {
-				return true
-			}
-			queue = append(queue, e.successors(a)...)
-		}
-		continue
-	}
-	return false
-}
-
-// maybeSpecialize rolls the question-type choice at a personally-significant
-// assignment and, when specialization is drawn and useful, asks it.
-func (e *Engine) maybeSpecialize(u *userState, base *assign.Assignment) bool {
-	if e.cfg.SpecializationRatio <= 0 || e.rng.Float64() >= e.cfg.SpecializationRatio {
-		return false
-	}
-	var open []*assign.Assignment
-	for _, succ := range e.successors(base) {
-		if e.globalStatus(succ) != assign.Unknown {
-			continue
-		}
-		if _, answered := u.answers[succ.Key()]; answered {
-			continue
-		}
-		if e.assignmentPruned(u, succ) {
-			e.recordAnswer(u, succ, 0, true)
-			continue
-		}
-		open = append(open, succ)
-	}
-	if len(open) < 2 {
-		return false
-	}
-	cands := make([]ontology.FactSet, len(open))
-	for i, o := range open {
-		cands[i] = e.space.Instantiate(o)
-	}
-	start := e.clock.Now()
-	idx, resp := u.member.AskSpecialize(e.space.Instantiate(base), cands)
-	if !e.answerUsable(u, start, resp.Departed) {
-		// The member was engaged (their turn is spent) but produced no
-		// usable answer; the open candidates stay open for the crowd.
-		return true
-	}
-	u.asked++
-	e.stats.Questions++
-	e.stats.SpecialQ++
-	if idx < 0 {
-		e.stats.NoneOfThese++
-		e.stats.AutoAnswers += len(open) - 1
-		for _, o := range open {
-			e.recordAnswer(u, o, 0, true)
-		}
-	} else {
-		e.recordAnswer(u, open[idx], resp.Support, false)
-	}
-	e.tracker.sample(&e.stats)
-	return true
-}
-
-// answerUsable vets one member interaction: a Departed response retires the
-// member immediately; an answer arriving after the deadline is discarded
-// (and, after MaxAnswerTimeouts consecutive overruns, retires the member
-// too). The assignment stays unanswered for this member, so the traversal
-// re-poses it on their next turn — the engine-side retry — while other
-// members keep being asked it independently — the reassignment. Callers in
-// the parallel path hold e.mu.
-func (e *Engine) answerUsable(u *userState, start time.Time, departed bool) bool {
-	if departed {
-		if !u.departed {
-			u.departed = true
-			e.stats.Departures++
-		}
-		return false
-	}
-	if e.cfg.AnswerDeadline > 0 && e.clock.Now().Sub(start) > e.cfg.AnswerDeadline {
-		e.stats.TimedOut++
-		u.timeouts++
-		max := e.cfg.MaxAnswerTimeouts
-		if max <= 0 {
-			max = 3
-		}
-		if u.timeouts >= max {
-			u.departed = true
-			e.stats.Departures++
-		}
-		return false
-	}
-	u.timeouts = 0
-	return true
-}
-
-// askConcreteUser poses one concrete question to the member.
-func (e *Engine) askConcreteUser(u *userState, a *assign.Assignment) {
-	start := e.clock.Now()
-	resp := u.member.AskConcrete(e.space.Instantiate(a))
-	if !e.answerUsable(u, start, resp.Departed) {
-		return
-	}
-	u.asked++
-	e.stats.Questions++
-	e.stats.ConcreteQ++
-	if len(resp.Pruned) > 0 {
-		e.stats.PruneClicks++
-		for _, t := range resp.Pruned {
-			u.pruned[t] = true
-		}
-	}
-	e.recordAnswer(u, a, resp.Support, false)
-	e.tracker.sample(&e.stats)
-}
-
-// recordAnswer feeds one member answer into the member's answer log, the
-// aggregator, the consistency checker and — when the aggregator reaches a
-// verdict — the global classifier. auto marks answers obtained without a
-// question (pruning inference, none-of-these fan-out).
-func (e *Engine) recordAnswer(u *userState, a *assign.Assignment, support float64, auto bool) {
-	u.answers[a.Key()] = support
-	if auto {
-		e.stats.AutoAnswers++
-	}
-	if e.checker != nil && !auto {
-		e.checker.Record(u.member.ID(), e.space.Instantiate(a), support)
-	}
-	if _, settled := e.decided[a.Key()]; settled {
-		return
-	}
-	e.agg.Add(a.Key(), u.member.ID(), support)
-	if d := e.agg.Decide(a.Key()); d != crowd.Undecided {
-		e.settle(a, d)
-	}
-}
-
-// settle freezes the aggregator verdict and updates the global classifier.
-func (e *Engine) settle(a *assign.Assignment, d crowd.Decision) {
-	e.decided[a.Key()] = d
-	if d == crowd.OverallSignificant {
-		if e.global.Status(a) != assign.Significant {
-			e.global.MarkSignificant(a)
-			e.tracker.onMark(a, true)
-		}
-	} else {
-		if e.global.Status(a) != assign.Insignificant {
-			e.global.MarkInsignificant(a)
-			e.tracker.onMark(a, false)
-		}
-	}
-	e.checkConfirmations()
-}
-
-// finalize decides assignments whose answers never reached the aggregator's
-// quota: with at least one answer the mean decides; untouched assignments
-// reachable from the roots are conservatively insignificant.
-func (e *Engine) finalize() {
-	if e.stopped {
-		// A top-k run ends as soon as k MSPs are confirmed; the
-		// unexplored remainder stays unclassified by design.
-		return
-	}
-	keys := make([]string, 0, len(e.byKey))
-	for k := range e.byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		a := e.byKey[k]
-		if _, settled := e.decided[k]; settled {
-			continue
-		}
-		if e.globalStatus(a) != assign.Unknown {
-			continue
-		}
-		if e.agg.Answers(k) > 0 && e.agg.Support(k) >= e.cfg.Theta {
-			e.settle(a, crowd.OverallSignificant)
-		} else {
-			e.settle(a, crowd.OverallInsignificant)
-		}
-	}
-}
-
-func (e *Engine) globalStatus(a *assign.Assignment) assign.Status {
-	return e.global.Status(a)
-}
-
-func (e *Engine) decidedOf(a *assign.Assignment) crowd.Decision {
-	return e.decided[a.Key()]
-}
-
-func (e *Engine) assignmentPruned(u *userState, a *assign.Assignment) bool {
-	if len(u.pruned) == 0 {
-		return false
-	}
-	v := e.space.Vocabulary()
-	for _, vs := range e.space.Vars() {
-		if vs.Kind != vocab.Element {
-			continue
-		}
-		for _, val := range a.Values(vs.Name) {
-			for p := range u.pruned {
-				if v.LeqE(p, val) {
-					return true
-				}
-			}
-		}
-	}
-	for _, f := range a.More() {
-		for p := range u.pruned {
-			if (f.S != ontology.Any && v.LeqE(p, f.S)) ||
-				(f.O != ontology.Any && v.LeqE(p, f.O)) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func (e *Engine) intern(a *assign.Assignment) *assign.Assignment {
-	if prev, ok := e.byKey[a.Key()]; ok {
-		return prev
-	}
-	e.byKey[a.Key()] = a
-	e.stats.Generated++
-	return a
-}
-
-func (e *Engine) successors(a *assign.Assignment) []*assign.Assignment {
-	if cached, ok := e.succs[a.Key()]; ok {
-		return cached
-	}
-	out := e.space.Successors(a)
-	for i, x := range out {
-		out[i] = e.intern(x)
-	}
-	e.succs[a.Key()] = out
-	return out
-}
-
-func (e *Engine) roots() []*assign.Assignment {
-	rs := e.space.Roots()
-	for i, r := range rs {
-		rs[i] = e.intern(r)
-	}
-	return rs
-}
-
-func (e *Engine) checkConfirmations() {
-	for _, b := range e.global.SignificantBorder() {
-		if e.confirmed[b.Key()] {
-			continue
-		}
-		done := true
-		for _, succ := range e.successors(b) {
-			if e.global.Status(succ) != assign.Insignificant {
-				done = false
-				break
-			}
-		}
-		if done {
-			e.confirmed[b.Key()] = true
-			e.tracker.onMSP(b)
-			if e.cfg.OnMSP != nil {
-				e.cfg.OnMSP(b)
-			}
-			if e.cfg.MaxMSPs > 0 && len(e.confirmed) >= e.cfg.MaxMSPs {
-				e.stopped = true
-			}
-		}
-	}
+	e.k.finalize()
+	return e.k.result()
 }
 
 // Provenance reports which members contributed answers to an assignment
@@ -562,54 +174,10 @@ type Provenance struct {
 // Explain returns the per-member answers behind an assignment, sorted by
 // member ID, plus the frozen aggregate decision if any.
 func (e *Engine) Explain(a *assign.Assignment) []Provenance {
-	var out []Provenance
-	for _, u := range e.users {
-		if s, ok := u.answers[a.Key()]; ok {
-			out = append(out, Provenance{MemberID: u.member.ID(), Support: s})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MemberID < out[j].MemberID })
-	return out
+	return e.k.explain(a)
 }
 
 // FlaggedSpammers lists members the consistency filter banned.
 func (e *Engine) FlaggedSpammers() []string {
-	if e.checker == nil {
-		return nil
-	}
-	return e.checker.Flagged()
-}
-
-func (e *Engine) result() *Result {
-	res := &Result{Stats: e.stats, Supports: make(map[string]float64)}
-	for k := range e.byKey {
-		if e.agg.Answers(k) > 0 {
-			res.Supports[k] = e.agg.Support(k)
-		}
-	}
-	border := append([]*assign.Assignment{}, e.global.SignificantBorder()...)
-	if e.stopped {
-		border = border[:0]
-		for _, b := range e.global.SignificantBorder() {
-			if e.confirmed[b.Key()] {
-				border = append(border, b)
-			}
-		}
-	}
-	sort.Slice(border, func(i, j int) bool { return border[i].Key() < border[j].Key() })
-	res.MSPs = border
-	for _, b := range border {
-		if e.space.IsValid(b) {
-			res.ValidMSPs = append(res.ValidMSPs, b)
-		}
-	}
-	for _, a := range e.byKey {
-		if e.global.Status(a) == assign.Significant {
-			res.Significant = append(res.Significant, a)
-		}
-	}
-	sort.Slice(res.Significant, func(i, j int) bool {
-		return res.Significant[i].Key() < res.Significant[j].Key()
-	})
-	return res
+	return e.k.flaggedSpammers()
 }

@@ -2,234 +2,40 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
-	"oassis/internal/assign"
 	"oassis/internal/crowd"
-	"oassis/internal/ontology"
 )
 
-// RunParallel runs the multi-user evaluation with member sessions served
-// concurrently, the way the paper's QueueManager serves simultaneous web
-// sessions (Section 6.1): engine state (classifiers, aggregator, caches) is
-// guarded by one mutex, while the member interactions themselves — the slow
-// part with a real crowd — happen outside the lock. Results are equivalent
-// to Run up to answer arrival order; determinism is traded for throughput.
+// RunParallel runs the multi-user evaluation with member interactions
+// served concurrently, the way the paper's QueueManager serves
+// simultaneous web sessions (Section 6.1). It is the worker-pool driver
+// over the same kernel as Run: each bulk-synchronous round's questions
+// (at most one per member, so members need not be thread-safe) are
+// dispatched across the pool, and the replies are folded back in ask
+// order at the barrier. Because question selection and answer folding
+// are the kernel's and happen outside the pool, the parallel engine is
+// behaviorally identical to Run — only wall-clock time differs.
 func (e *Engine) RunParallel(workers int) *Result {
-	if workers <= 1 || len(e.users) == 1 {
+	if workers <= 1 || len(e.members) == 1 {
 		return e.Run()
 	}
-	if e.checker != nil && e.cfg.CalibrationQuestions > 0 {
-		e.mu.Lock()
-		e.calibrate()
-		e.mu.Unlock()
-	}
-	// Rounds with a barrier: every member gets at most one question per
-	// round, workers own disjoint member shards (so one member is only
-	// ever served by one goroutine, and members need not be thread-safe),
-	// and the run ends only when a whole round makes no progress anywhere
-	// — one member's answers can unlock regions for another.
-	for {
+	b := crowd.NewMemberBroker(e.members, e.clock.Now)
+	return e.drive(func(asks []*crowd.Ask) []crowd.Reply {
+		replies := make([]crowd.Reply, len(asks))
 		var wg sync.WaitGroup
-		var progress atomic.Bool
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; i < len(e.users); i += workers {
-					u := e.users[i]
-					if e.userDone(u) {
-						continue
-					}
-					if e.stepUserLocked(u) {
-						progress.Store(true)
-					}
-					e.reviewBans(u)
+				for i := w; i < len(asks); i += workers {
+					i := i
+					b.Post(asks[i], func(r crowd.Reply) {
+						replies[i] = r
+					})
 				}
 			}(w)
 		}
 		wg.Wait()
-		if !progress.Load() {
-			break
-		}
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.finalize()
-	return e.result()
-}
-
-func (e *Engine) userDone(u *userState) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if u.banned || u.departed || e.stopped {
-		return true
-	}
-	return e.cfg.MaxQuestionsPerMember > 0 && u.asked >= e.cfg.MaxQuestionsPerMember
-}
-
-func (e *Engine) reviewBans(u *userState) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.checker != nil && !u.banned && e.checker.IsSpammer(u.member.ID()) {
-		u.banned = true
-		if tw, ok := e.agg.(*crowd.TrustWeightedAggregator); ok {
-			tw.SetTrust(u.member.ID(), 0)
-		}
-	}
-}
-
-// stepUserLocked is stepUser with the ask-the-member step performed outside
-// the engine lock: the traversal picks the question under the lock, the
-// member answers unlocked, and the answer is recorded under the lock again.
-// The chosen assignment may have been settled by another member in the
-// meantime; the answer is still recorded (it arrived, as it would from a
-// real crowd) but cannot flip the frozen decision.
-func (e *Engine) stepUserLocked(u *userState) bool {
-	e.mu.Lock()
-	kind, target, base, open := e.nextQuestion(u)
-	if kind == noQuestion {
-		e.mu.Unlock()
-		return false
-	}
-	// Instantiate while still under the lock (space access), then ask
-	// without it.
-	var (
-		baseFS  ontology.FactSet
-		cands   []ontology.FactSet
-		askedFS ontology.FactSet
-	)
-	switch kind {
-	case concreteQuestion:
-		askedFS = e.space.Instantiate(target)
-	case specializationQuestion:
-		baseFS = e.space.Instantiate(base)
-		cands = make([]ontology.FactSet, len(open))
-		for i, o := range open {
-			cands[i] = e.space.Instantiate(o)
-		}
-	}
-	e.mu.Unlock()
-
-	switch kind {
-	case concreteQuestion:
-		start := e.clock.Now()
-		resp := u.member.AskConcrete(askedFS)
-		e.mu.Lock()
-		if !e.answerUsable(u, start, resp.Departed) {
-			e.mu.Unlock()
-			return true
-		}
-		u.asked++
-		e.stats.Questions++
-		e.stats.ConcreteQ++
-		if len(resp.Pruned) > 0 {
-			e.stats.PruneClicks++
-			for _, t := range resp.Pruned {
-				u.pruned[t] = true
-			}
-		}
-		e.recordAnswer(u, target, resp.Support, false)
-		e.tracker.sample(&e.stats)
-		e.mu.Unlock()
-	case specializationQuestion:
-		start := e.clock.Now()
-		idx, resp := u.member.AskSpecialize(baseFS, cands)
-		e.mu.Lock()
-		if !e.answerUsable(u, start, resp.Departed) {
-			e.mu.Unlock()
-			return true
-		}
-		u.asked++
-		e.stats.Questions++
-		e.stats.SpecialQ++
-		if idx < 0 {
-			e.stats.NoneOfThese++
-			e.stats.AutoAnswers += len(open) - 1
-			for _, o := range open {
-				e.recordAnswer(u, o, 0, true)
-			}
-		} else {
-			e.recordAnswer(u, open[idx], resp.Support, false)
-		}
-		e.tracker.sample(&e.stats)
-		e.mu.Unlock()
-	}
-	return true
-}
-
-type questionKind uint8
-
-const (
-	noQuestion questionKind = iota
-	concreteQuestion
-	specializationQuestion
-)
-
-// nextQuestion is the traversal of stepUser without the asking: it returns
-// the next question for the member, or noQuestion. Callers hold e.mu.
-func (e *Engine) nextQuestion(u *userState) (questionKind, *assign.Assignment, *assign.Assignment, []*assign.Assignment) {
-	queue := e.roots()
-	seen := make(map[string]bool, len(queue))
-	for len(queue) > 0 {
-		a := queue[0]
-		queue = queue[1:]
-		if seen[a.Key()] {
-			continue
-		}
-		seen[a.Key()] = true
-
-		if e.globalStatus(a) == assign.Insignificant {
-			continue
-		}
-		if e.globalStatus(a) == assign.Significant {
-			if u.answeredYes(a.Key(), e.cfg.Theta) {
-				if base, open := e.specializationAt(u, a); base != nil {
-					return specializationQuestion, nil, base, open
-				}
-			}
-			queue = append(queue, e.successors(a)...)
-			continue
-		}
-		if _, answered := u.answers[a.Key()]; !answered {
-			if e.assignmentPruned(u, a) {
-				e.recordAnswer(u, a, 0, true)
-				continue
-			}
-			return concreteQuestion, a, nil, nil
-		}
-		if u.answeredYes(a.Key(), e.cfg.Theta) {
-			if base, open := e.specializationAt(u, a); base != nil {
-				return specializationQuestion, nil, base, open
-			}
-			queue = append(queue, e.successors(a)...)
-		}
-	}
-	return noQuestion, nil, nil, nil
-}
-
-// specializationAt mirrors maybeSpecialize's candidate collection without
-// asking; it returns (nil, nil) when the dice or the candidates say no.
-func (e *Engine) specializationAt(u *userState, base *assign.Assignment) (*assign.Assignment, []*assign.Assignment) {
-	if e.cfg.SpecializationRatio <= 0 || e.rng.Float64() >= e.cfg.SpecializationRatio {
-		return nil, nil
-	}
-	var open []*assign.Assignment
-	for _, succ := range e.successors(base) {
-		if e.globalStatus(succ) != assign.Unknown {
-			continue
-		}
-		if _, answered := u.answers[succ.Key()]; answered {
-			continue
-		}
-		if e.assignmentPruned(u, succ) {
-			e.recordAnswer(u, succ, 0, true)
-			continue
-		}
-		open = append(open, succ)
-	}
-	if len(open) < 2 {
-		return nil, nil
-	}
-	return base, open
+		return replies
+	})
 }

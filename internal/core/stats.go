@@ -48,6 +48,21 @@ type Stats struct {
 	// (no usable answer was obtained) and are re-posed.
 	TimedOut int
 
+	// Asked counts Ask events emitted by the kernel — questions put to
+	// the crowd, whether or not a usable answer came back (compare
+	// Questions, which counts usable answers only).
+	Asked int
+	// Discarded counts replies the kernel received but could not use: a
+	// deadline overrun, or an answer that arrived after a top-k run
+	// already stopped.
+	Discarded int
+	// Rounds counts bulk-synchronous kernel rounds (each member is
+	// asked at most one question per round).
+	Rounds int
+	// PeakInFlight is the largest number of questions simultaneously
+	// outstanding — the broker queue depth at its deepest.
+	PeakInFlight int
+
 	// Progress samples one point per question for the pace-of-collection
 	// curves (Figures 4d–4e).
 	Progress []ProgressPoint
@@ -81,7 +96,12 @@ type Result struct {
 	// for every assignment that received answers. Downstream analyses
 	// (association-rule confidence, ranking) read from here.
 	Supports map[string]float64
-	Stats    Stats
+	// Transcripts, when EngineConfig.RecordTranscript is set, holds the
+	// per-member interview log: one line per usable answer, in the
+	// order the kernel folded them in. Two runs over the same crowd are
+	// behaviorally equivalent iff their transcripts match.
+	Transcripts map[string][]string
+	Stats       Stats
 }
 
 // SupportOf returns the aggregated support recorded for an assignment

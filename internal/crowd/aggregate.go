@@ -253,3 +253,22 @@ func (t *TrustWeightedAggregator) Support(key string) float64 {
 	}
 	return sum / wsum
 }
+
+// QuotaCarrier is an optional Aggregator extension exposing how many
+// answers the aggregator wants per assignment before it decides. The
+// mining kernel uses it to stop over-assigning one assignment within a
+// round: once enough answers are scheduled to reach the quota, the rest
+// of the crowd is routed to other open questions. Aggregators without a
+// fixed quota simply don't implement it.
+type QuotaCarrier interface {
+	Quota() int
+}
+
+// Quota implements QuotaCarrier.
+func (m *MeanAggregator) Quota() int { return m.K }
+
+// Quota implements QuotaCarrier.
+func (m *MajorityAggregator) Quota() int { return m.K }
+
+// Quota implements QuotaCarrier.
+func (t *TrustWeightedAggregator) Quota() int { return t.K }

@@ -8,6 +8,7 @@
 package crowd
 
 import (
+	"math"
 	"math/rand"
 
 	"oassis/internal/ontology"
@@ -64,20 +65,13 @@ func BucketSupport(s float64, scale []float64) float64 {
 	if len(scale) == 0 {
 		return s
 	}
-	best, bestDist := scale[0], absF(s-scale[0])
+	best, bestDist := scale[0], math.Abs(s-scale[0])
 	for _, v := range scale[1:] {
-		if d := absF(s - v); d < bestDist {
+		if d := math.Abs(s - v); d < bestDist {
 			best, bestDist = v, d
 		}
 	}
 	return best
-}
-
-func absF(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // SimMember simulates a crowd member from a concrete personal database:

@@ -2,7 +2,7 @@
 // prototype (Sections 6.1–6.2): a web service through which crowd members
 // receive the engine's questions and submit answers. The paper's system
 // served a PHP web UI backed by the QueueManager; here the same roles are
-// an HTTP JSON API backed by the concurrent engine:
+// an HTTP JSON API backed by the event-driven mining kernel:
 //
 //	POST /join?member=<id>        register as a crowd member
 //	POST /start                   launch the mining run (once enough joined)
@@ -12,8 +12,11 @@
 //	GET  /results                 the MSPs discovered so far (streamed
 //	                              incrementally, final when done)
 //
-// Each member is bridged to the engine through a mailbox Member whose
-// Ask* methods block until the HTTP side delivers the answer.
+// The server is an oassis.Broker: the kernel posts Ask events, the HTTP
+// handlers resolve them into Reply events as answers arrive from the
+// network. Nothing blocks per member — a question is a pending slot, not
+// a parked goroutine; a single reaper goroutine turns expired slots into
+// departure events.
 package server
 
 import (
@@ -54,7 +57,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	session *oassis.Session
-	members map[string]*mailboxMember
+	members map[string]*memberSlot
 	started bool
 	done    bool
 	result  *oassis.Result
@@ -62,18 +65,21 @@ type Server struct {
 	msps    []string // incrementally discovered answers (rendered)
 
 	nextQID int64
+
+	// reapNotify wakes the reaper when a new question is posted;
+	// reapStop ends it when the run completes.
+	reapNotify chan struct{}
+	reapStop   chan struct{}
 }
 
 // New builds a platform; attach the query session with Attach before
-// serving. Build the session with oassis.WithParallelism (so several
-// members are interviewed at once) and stream answers into the server:
+// serving. Stream answers into the server with oassis.WithOnMSP:
 //
 //	srv := server.New(server.Config{MinMembers: 5})
 //	var sess *oassis.Session
 //	sess, err := oassis.NewSession(store, q,
-//	    oassis.WithParallelism(16),
 //	    oassis.WithOnMSP(func(a *oassis.Assignment) {
-//	        srv.RecordAnswer(sess.DescribeAnswer(sess.FactSets([]*oassis.Assignment{a})[0]))
+//	        srv.RecordAnswer(sess.DescribeAssignment(a))
 //	    }))
 //	srv.Attach(sess)
 func New(cfg Config) *Server {
@@ -86,7 +92,12 @@ func New(cfg Config) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = chaos.Real()
 	}
-	return &Server{cfg: cfg, members: make(map[string]*mailboxMember)}
+	return &Server{
+		cfg:        cfg,
+		members:    make(map[string]*memberSlot),
+		reapNotify: make(chan struct{}, 1),
+		reapStop:   make(chan struct{}),
+	}
 }
 
 // Attach installs the session the platform evaluates.
@@ -101,6 +112,17 @@ func (s *Server) attached() *oassis.Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.session
+}
+
+// Result returns the finished run's result, or nil while the run is
+// still in progress (or never started).
+func (s *Server) Result() *oassis.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return nil
+	}
+	return s.result
 }
 
 // RecordAnswer appends one rendered answer to the incremental /results
@@ -122,7 +144,7 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// question is one pending question for a member.
+// question is one pending question for a member, as served to clients.
 type question struct {
 	ID int64 `json:"id"`
 	// Kind is "concrete" or "specialization".
@@ -132,106 +154,132 @@ type question struct {
 	// Options lists the candidate refinements of a specialization
 	// question; answer with choice = index, or -1 for none of these.
 	Options []string `json:"options,omitempty"`
-
-	// answered receives the member's reply.
-	answered chan answerMsg
 }
 
-type answerMsg struct {
-	Support float64
-	Choice  int
+// pendingQ is a posted question awaiting its answer: the wire form, the
+// kernel's Ask event, the continuation that resolves it, and the
+// deadline after which the reaper declares the member departed.
+type pendingQ struct {
+	q        question
+	ask      *oassis.Ask
+	deliver  func(oassis.Reply)
+	posted   time.Time
+	deadline time.Time
 }
 
-// mailboxMember bridges the engine (blocking Ask* calls) to HTTP handlers.
-type mailboxMember struct {
+// memberSlot is one registered member's mailbox slot. No goroutine is
+// parked here: the slot holds at most one pending question, and the
+// HTTP handlers or the reaper resolve it.
+type memberSlot struct {
 	id      string
-	server  *Server
-	mu      sync.Mutex
-	pending *question
-	gone    bool
+	pending *pendingQ
+	// gone marks a member who missed every answer window; their session
+	// ended and the run continues with the surviving crowd.
+	gone bool
+	// lastAnswered is the most recent question ID the member resolved,
+	// kept to distinguish a duplicate submission from a stale one.
+	lastAnswered int64
 }
 
-func (m *mailboxMember) ID() string { return m.id }
-
-// post parks a question and waits for the answer. The question stays
-// posted across 1 + AnswerRetries deadline windows (covering members that
-// time out once and come back); only when every window expires is the
-// member declared departed and the question withdrawn — the engine then
-// reassigns the underlying assignment to the remaining crowd.
-func (m *mailboxMember) post(q *question) (answerMsg, bool) {
-	m.mu.Lock()
-	if m.gone {
-		m.mu.Unlock()
-		return answerMsg{}, false
-	}
-	m.pending = q
-	m.mu.Unlock()
-	for attempt := 0; attempt <= m.server.cfg.AnswerRetries; attempt++ {
-		select {
-		case a := <-q.answered:
-			m.mu.Lock()
-			m.pending = nil
-			m.mu.Unlock()
-			return a, true
-		case <-m.server.cfg.Clock.After(m.server.cfg.AnswerTimeout):
-			// Deadline passed; retry (keep the question posted) until
-			// the windows run out.
+// Post implements oassis.Broker: it renders the kernel's Ask into a
+// pending question for the addressed member and returns immediately.
+// The reply is delivered later — by handleAnswer when the member
+// responds, or by the reaper when every answer window expires.
+func (s *Server) Post(ask *oassis.Ask, deliver func(oassis.Reply)) {
+	sess := s.attached()
+	q := question{}
+	switch ask.Kind {
+	case oassis.ConcreteAsk:
+		q.Kind = "concrete"
+		q.Text = sess.Describe(ask.Target)
+	case oassis.SpecializeAsk:
+		q.Kind = "specialization"
+		q.Text = sess.Describe(ask.Base)
+		q.Options = make([]string, len(ask.Options))
+		for i, c := range ask.Options {
+			q.Options[i] = sess.Describe(c)
 		}
 	}
-	m.mu.Lock()
-	m.pending = nil
-	m.gone = true
-	m.mu.Unlock()
-	return answerMsg{}, false
-}
+	now := s.cfg.Clock.Now()
+	window := s.cfg.AnswerTimeout * time.Duration(1+s.cfg.AnswerRetries)
 
-// AskConcrete implements oassis.Member over the mailbox. A member that
-// exhausts every answer window has departed (their session ended, as
-// Section 4.2 allows); the engine stops asking them and the run continues
-// with the surviving crowd.
-func (m *mailboxMember) AskConcrete(fs oassis.FactSet) oassis.Response {
-	q := &question{
-		ID:       m.server.newQID(),
-		Kind:     "concrete",
-		Text:     m.server.attached().Describe(fs),
-		answered: make(chan answerMsg, 1),
-	}
-	a, ok := m.post(q)
-	if !ok {
-		return oassis.Response{Departed: true}
-	}
-	return oassis.Response{Support: a.Support}
-}
-
-// AskSpecialize implements oassis.Member.
-func (m *mailboxMember) AskSpecialize(base oassis.FactSet, cands []oassis.FactSet) (int, oassis.Response) {
-	sess := m.server.attached()
-	opts := make([]string, len(cands))
-	for i, c := range cands {
-		opts[i] = sess.Describe(c)
-	}
-	q := &question{
-		ID:       m.server.newQID(),
-		Kind:     "specialization",
-		Text:     sess.Describe(base),
-		Options:  opts,
-		answered: make(chan answerMsg, 1),
-	}
-	a, ok := m.post(q)
-	if !ok {
-		return -1, oassis.Response{Departed: true}
-	}
-	if a.Choice < 0 || a.Choice >= len(cands) {
-		return -1, oassis.Response{}
-	}
-	return a.Choice, oassis.Response{Support: a.Support}
-}
-
-func (s *Server) newQID() int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	m := s.members[ask.Member]
+	if m == nil || m.gone {
+		s.mu.Unlock()
+		deliver(oassis.Reply{Ask: ask, Outcome: oassis.ReplyDeparted, Choice: -1})
+		return
+	}
 	s.nextQID++
-	return s.nextQID
+	q.ID = s.nextQID
+	m.pending = &pendingQ{
+		q:        q,
+		ask:      ask,
+		deliver:  deliver,
+		posted:   now,
+		deadline: now.Add(window),
+	}
+	s.mu.Unlock()
+
+	select {
+	case s.reapNotify <- struct{}{}:
+	default:
+	}
+}
+
+// reap is the single deadline watchdog: it sleeps until the earliest
+// pending deadline, expires overdue questions into departure events, and
+// re-arms. It replaces the per-member goroutines the mailbox design
+// parked in blocking Ask* calls.
+func (s *Server) reap() {
+	for {
+		s.mu.Lock()
+		var next time.Time
+		for _, m := range s.members {
+			if m.pending != nil && (next.IsZero() || m.pending.deadline.Before(next)) {
+				next = m.pending.deadline
+			}
+		}
+		s.mu.Unlock()
+
+		if next.IsZero() {
+			select {
+			case <-s.reapNotify:
+				continue
+			case <-s.reapStop:
+				return
+			}
+		}
+		if d := next.Sub(s.cfg.Clock.Now()); d > 0 {
+			select {
+			case <-s.cfg.Clock.After(d):
+			case <-s.reapNotify:
+				continue
+			case <-s.reapStop:
+				return
+			}
+		}
+		s.expire()
+	}
+}
+
+// expire turns every overdue pending question into a departure event.
+func (s *Server) expire() {
+	now := s.cfg.Clock.Now()
+	var fire []*pendingQ
+	s.mu.Lock()
+	for _, m := range s.members {
+		if m.pending != nil && !m.pending.deadline.After(now) {
+			pq := m.pending
+			m.pending = nil
+			m.gone = true
+			fire = append(fire, pq)
+		}
+	}
+	s.mu.Unlock()
+	for _, pq := range fire {
+		pq.deliver(oassis.Reply{Ask: pq.ask, Outcome: oassis.ReplyDeparted, Choice: -1})
+	}
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -250,7 +298,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "member already joined", http.StatusConflict)
 		return
 	}
-	s.members[id] = &mailboxMember{id: id, server: s}
+	s.members[id] = &memberSlot{id: id}
 	writeJSON(w, map[string]any{"joined": id, "members": len(s.members)})
 }
 
@@ -275,26 +323,24 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.started = true
-	members := make([]oassis.Member, 0, len(s.members))
 	ids := make([]string, 0, len(s.members))
 	for id := range s.members {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	for _, id := range ids {
-		members = append(members, s.members[id])
-	}
 	s.mu.Unlock()
 
+	go s.reap()
 	go func() {
-		res, err := sess.Run(members)
+		res, err := sess.RunBroker(ids, s)
 		s.mu.Lock()
 		s.done = true
 		s.result = res
 		s.runErr = err
 		s.mu.Unlock()
+		close(s.reapStop)
 	}()
-	writeJSON(w, map[string]any{"started": true, "members": len(members)})
+	writeJSON(w, map[string]any{"started": true, "members": len(ids)})
 }
 
 func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
@@ -302,6 +348,11 @@ func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	m, ok := s.members[id]
 	done := s.done
+	var pending *pendingQ
+	var gone bool
+	if ok {
+		pending, gone = m.pending, m.gone
+	}
 	s.mu.Unlock()
 	if !ok {
 		http.Error(w, "unknown member", http.StatusNotFound)
@@ -311,19 +362,16 @@ func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "run complete", http.StatusGone)
 		return
 	}
-	m.mu.Lock()
-	q, gone := m.pending, m.gone
-	m.mu.Unlock()
 	if gone {
 		// The member missed every answer window; their session ended.
 		http.Error(w, "member departed", http.StatusGone)
 		return
 	}
-	if q == nil {
+	if pending == nil {
 		http.Error(w, "no question pending", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, q)
+	writeJSON(w, pending.q)
 }
 
 // answerBody is the POST /answer payload.
@@ -347,41 +395,54 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	m, ok := s.members[body.Member]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		http.Error(w, "unknown member", http.StatusNotFound)
 		return
 	}
-	m.mu.Lock()
-	q, gone := m.pending, m.gone
-	m.mu.Unlock()
-	if gone {
+	if m.gone {
+		s.mu.Unlock()
 		http.Error(w, "member departed", http.StatusGone)
 		return
 	}
-	if q == nil || q.ID != body.Question {
-		// Stale or out-of-order submission: the question is no longer
-		// (or was never) pending for this member.
-		http.Error(w, "no such pending question", http.StatusConflict)
+	pq := m.pending
+	if pq == nil || pq.q.ID != body.Question {
+		code := "no such pending question"
+		if pq == nil && body.Question == m.lastAnswered && m.lastAnswered != 0 {
+			// Duplicate submission: the first answer won.
+			code = "question already answered"
+		}
+		s.mu.Unlock()
+		// Stale, out-of-order or duplicate submission: the question is
+		// no longer (or was never) pending for this member.
+		http.Error(w, code, http.StatusConflict)
 		return
 	}
-	select {
-	case q.answered <- answerMsg{Support: body.Support, Choice: body.Choice}:
-	default:
-		// Duplicate submission: the first answer won.
-		http.Error(w, "question already answered", http.StatusConflict)
-		return
-	}
+	m.pending = nil
+	m.lastAnswered = pq.q.ID
+	s.mu.Unlock()
+
+	pq.deliver(oassis.Reply{
+		Ask:     pq.ask,
+		Outcome: oassis.ReplyAnswered,
+		Support: body.Support,
+		Choice:  body.Choice,
+		Elapsed: s.cfg.Clock.Now().Sub(pq.posted),
+	})
 	writeJSON(w, map[string]any{"accepted": true})
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Render the answers in deterministic order regardless of the
+	// interleaving in which they were discovered.
+	answers := append([]string(nil), s.msps...)
+	sort.Strings(answers)
 	resp := map[string]any{
 		"started": s.started,
 		"done":    s.done,
-		"answers": s.msps,
+		"answers": answers,
 	}
 	if s.runErr != nil {
 		resp["error"] = s.runErr.Error()
@@ -399,3 +460,5 @@ func writeJSON(w http.ResponseWriter, v any) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
+
+var _ oassis.Broker = (*Server)(nil)

@@ -258,3 +258,36 @@ func TestServerValidation(t *testing.T) {
 		t.Errorf("out-of-range support: %d", resp.StatusCode)
 	}
 }
+
+// TestResultsDeterministicOrder pins the /results contract: the answers
+// array is sorted, independent of the interleaving in which answers
+// arrived from the crowd.
+func TestResultsDeterministicOrder(t *testing.T) {
+	srv := server.New(server.Config{MinMembers: 1})
+	// Record in two different arrival orders; both must render the same.
+	for _, text := range []string{"zebra crossing", "apple picking", "midtown stroll"} {
+		srv.RecordAnswer(text)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL, id: "x"}
+	resp, body := c.do("GET", "/results", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Answers []string `json:"answers"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"apple picking", "midtown stroll", "zebra crossing"}
+	if len(out.Answers) != len(want) {
+		t.Fatalf("answers = %v, want %v", out.Answers, want)
+	}
+	for i := range want {
+		if out.Answers[i] != want[i] {
+			t.Fatalf("answers = %v, want sorted %v", out.Answers, want)
+		}
+	}
+}

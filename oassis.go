@@ -94,6 +94,28 @@ type (
 	// FaultyMember decorates a Member with seed-driven faults (latency,
 	// departure, contradiction) for resilience testing.
 	FaultyMember = chaos.FaultyMember
+	// Ask is one question event emitted by the mining kernel.
+	Ask = crowd.Ask
+	// Reply is the resolution event for one Ask.
+	Reply = crowd.Reply
+	// Broker carries Ask events to a crowd and delivers Replies back;
+	// RunBroker drives the mining kernel over one (see internal/server
+	// for the HTTP platform's implementation).
+	Broker = crowd.Broker
+	// FaultyBroker decorates a Broker with seed-driven per-member faults,
+	// applying chaos at the event level so every execution mode gets the
+	// same fault coverage.
+	FaultyBroker = chaos.FaultyBroker
+)
+
+// Ask kinds and reply outcomes, re-exported for Broker implementations.
+const (
+	ConcreteAsk   = crowd.ConcreteAsk
+	SpecializeAsk = crowd.SpecializeAsk
+
+	ReplyAnswered = crowd.Answered
+	ReplyTimedOut = crowd.TimedOut
+	ReplyDeparted = crowd.Departed
 )
 
 // RealClock returns the wall clock.
@@ -106,6 +128,12 @@ func NewVirtualClock() *VirtualClock { return chaos.NewVirtualClock() }
 // the given clock (nil uses the wall clock).
 func NewFaultyMember(inner Member, clock Clock, f Faults) *FaultyMember {
 	return chaos.Wrap(inner, clock, f)
+}
+
+// NewFaultyBroker wraps a broker with per-member faults keyed by member
+// ID, sleeping on the given clock (nil uses the wall clock).
+func NewFaultyBroker(inner Broker, clock Clock, faults map[string]Faults) *FaultyBroker {
+	return chaos.WrapBroker(inner, clock, faults)
 }
 
 // Question-ordering strategies (Section 6.4 compares them).
@@ -259,6 +287,13 @@ func WithOnMSP(fn func(*Assignment)) Option {
 	return func(s *Session) { s.onMSP = fn }
 }
 
+// WithTranscript records a per-member interview log into
+// Result.Transcripts — one line per usable answer, in kernel fold order.
+// Two runs over the same crowd are behaviorally equivalent iff their
+// transcripts match, which is how the differential tests compare the
+// sequential, parallel and HTTP drivers.
+func WithTranscript() Option { return func(s *Session) { s.transcript = true } }
+
 // WithClock sets the session's time source (default: the wall clock).
 // Inject a VirtualClock to run slow-member chaos scenarios
 // deterministically in zero wall time.
@@ -295,6 +330,7 @@ type Session struct {
 	clock          Clock
 	answerDeadline time.Duration
 	maxTimeouts    int
+	transcript     bool
 
 	renderer *nlgen.Renderer
 }
@@ -345,11 +381,45 @@ func (s *Session) Run(members []Member) (*Result, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("oassis: no crowd members")
 	}
+	eng := core.NewEngine(s.space, members, s.engineConfig(len(members)))
+	var res *Result
+	if s.workers > 1 {
+		res = eng.RunParallel(s.workers)
+	} else {
+		res = eng.Run()
+	}
+	s.applyLimit(res)
+	return res, nil
+}
+
+// RunBroker mines a crowd that lives behind a Broker — members known
+// only by ID, reached through ask/deliver events (the HTTP platform in
+// internal/server is the canonical broker). The kernel posts each
+// round's questions without blocking on any one member; replies may
+// arrive in any order. Crowd-selection clauses cannot match bare IDs,
+// so a filtered query finds no members here.
+func (s *Session) RunBroker(ids []string, b Broker) (*Result, error) {
+	if len(s.query.CrowdFilter) > 0 {
+		// Bare member IDs carry no profile attributes to match.
+		ids = nil
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("oassis: no crowd members")
+	}
+	eng := core.NewBrokerEngine(s.space, ids, s.engineConfig(len(ids)))
+	res := eng.RunWith(b)
+	s.applyLimit(res)
+	return res, nil
+}
+
+// engineConfig assembles the kernel configuration shared by every driver
+// for a crowd of n members.
+func (s *Session) engineConfig(n int) core.EngineConfig {
 	agg := s.agg
 	if agg == nil {
 		k := 5
-		if len(members) < k {
-			k = len(members)
+		if n < k {
+			k = n
 		}
 		agg = crowd.NewMeanAggregator(k, s.Theta())
 	}
@@ -357,7 +427,7 @@ func (s *Session) Run(members []Member) (*Result, error) {
 	if s.query.Limit > 0 && !s.query.Diverse {
 		maxMSPs = s.query.Limit
 	}
-	eng := core.NewEngine(s.space, members, core.EngineConfig{
+	return core.EngineConfig{
 		Theta:                 s.Theta(),
 		Aggregator:            agg,
 		SpecializationRatio:   s.specRatio,
@@ -369,15 +439,8 @@ func (s *Session) Run(members []Member) (*Result, error) {
 		AnswerDeadline:        s.answerDeadline,
 		MaxAnswerTimeouts:     s.maxTimeouts,
 		Clock:                 s.clock,
-	})
-	var res *Result
-	if s.workers > 1 {
-		res = eng.RunParallel(s.workers)
-	} else {
-		res = eng.Run()
+		RecordTranscript:      s.transcript,
 	}
-	s.applyLimit(res)
-	return res, nil
 }
 
 // memberMatches checks the crowd-selection conjuncts against a member's
