@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"oassis/internal/ontology"
 	"oassis/internal/vocab"
@@ -31,7 +32,13 @@ type Assignment struct {
 	kinds []vocab.Kind
 	vals  [][]vocab.TermID
 	more  ontology.FactSet
-	key   string
+	// id is the dense per-space identity assigned by the interner
+	// (noID until interned). Hot paths key on it instead of the string.
+	id NodeID
+	// key caches the canonical display string, built lazily on first
+	// Key() call. atomic so concurrent readers may race to compute it:
+	// the computation is deterministic, so any winner is correct.
+	key atomic.Pointer[string]
 }
 
 // New builds a canonical assignment. vals maps variable names to term sets;
@@ -51,7 +58,7 @@ func New(v *vocab.Vocabulary, kinds map[string]vocab.Kind, vals map[string][]voc
 		a.vals[i] = canonicalSet(v, kinds[name], vals[name])
 	}
 	a.more = canonicalMore(v, more)
-	a.key = computeKey(a)
+	a.id = noID
 	return a
 }
 
@@ -143,8 +150,16 @@ func computeKey(a *Assignment) string {
 }
 
 // Key is a canonical identity string: two assignments are equivalent under
-// the order iff their keys are equal.
-func (a *Assignment) Key() string { return a.key }
+// the order iff their keys are equal. It is computed lazily — hot paths
+// compare interned pointers or NodeIDs and never materialize the string.
+func (a *Assignment) Key() string {
+	if p := a.key.Load(); p != nil {
+		return *p
+	}
+	k := computeKey(a)
+	a.key.Store(&k)
+	return k
+}
 
 // index returns the position of a variable name, or -1.
 func (a *Assignment) index(name string) int {
@@ -210,11 +225,12 @@ func Leq(v *vocab.Vocabulary, _ map[string]vocab.Kind, a, b *Assignment) bool {
 		for bi < len(b.names) && b.names[bi] < name {
 			bi++
 		}
+		// The sorted-cursor advance above either landed on the variable
+		// or proved b does not bind it (bvals stays nil, so any value of
+		// a's non-empty set fails the cover check below).
 		var bvals []vocab.TermID
 		if bi < len(b.names) && b.names[bi] == name {
 			bvals = b.vals[bi]
-		} else if j := b.index(name); j >= 0 {
-			bvals = b.vals[j]
 		}
 		k := a.kinds[ai]
 		for _, av := range avals {

@@ -30,11 +30,9 @@ func BenchmarkLeq(b *testing.B) {
 	}
 }
 
-// BenchmarkSuccessors measures lazy successor generation.
-func BenchmarkSuccessors(b *testing.B) {
-	d := benchDAG(b)
-	roots := d.Space.Roots()
-	frontier := roots
+// benchFrontier expands two DAG levels and returns the frontier nodes.
+func benchFrontier(d *synth.DAG) []*assign.Assignment {
+	frontier := d.Space.Roots()
 	for i := 0; i < 2; i++ {
 		var next []*assign.Assignment
 		for _, a := range frontier {
@@ -42,9 +40,29 @@ func BenchmarkSuccessors(b *testing.B) {
 		}
 		frontier = next
 	}
+	return frontier
+}
+
+// BenchmarkSuccessors measures successor retrieval through the shared edge
+// cache (the engine's steady-state path: edges are computed once per node).
+func BenchmarkSuccessors(b *testing.B) {
+	d := benchDAG(b)
+	frontier := benchFrontier(d)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = d.Space.Successors(frontier[i%len(frontier)])
+	}
+}
+
+// BenchmarkSuccessorsUncached measures the raw lazy generation the cache
+// amortizes (one-step specializations + multiplicity extensions + closure
+// checks), via the test-only cache bypass.
+func BenchmarkSuccessorsUncached(b *testing.B) {
+	d := benchDAG(b)
+	frontier := benchFrontier(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Space.UncachedSuccessors(frontier[i%len(frontier)])
 	}
 }
 

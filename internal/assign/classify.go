@@ -35,8 +35,13 @@ func (s Status) String() string {
 // the borders.
 //
 // Because classifications are final (borders only ever grow), Status
-// memoizes per assignment key: a classified verdict is cached forever and an
-// Unknown verdict only re-examines marks added since the last check.
+// memoizes per NodeID in a dense slice: a classified verdict is cached
+// forever and an Unknown verdict only re-examines marks added since the
+// last check. Border comparisons additionally go through a per-pair Leq
+// memo, since border rescans keep re-deriving the same order relations.
+//
+// A Classifier is not safe for concurrent use; each engine run owns one
+// (the underlying Space, by contrast, is shared).
 type Classifier struct {
 	space *Space
 	// sig is an antichain of known-significant assignments; everything
@@ -50,18 +55,42 @@ type Classifier struct {
 	// cached Unknown verdicts can resume scanning incrementally.
 	sigLog   []*Assignment
 	insigLog []*Assignment
-	cache    map[string]*statusEntry
+	// entries is indexed by NodeID; the zero entry (Unknown, log cursors
+	// at 0) is the correct initial state for a fresh node.
+	entries []statusEntry
+	// leqMemo caches space.Leq per ordered node pair (a.id<<32 | b.id).
+	leqMemo map[uint64]bool
 }
 
 type statusEntry struct {
 	status   Status
-	sigIdx   int // next sigLog index to examine
-	insigIdx int // next insigLog index to examine
+	sigIdx   int32 // next sigLog index to examine
+	insigIdx int32 // next insigLog index to examine
 }
 
 // NewClassifier returns an empty classifier over the space.
 func NewClassifier(s *Space) *Classifier {
-	return &Classifier{space: s, cache: make(map[string]*statusEntry)}
+	return &Classifier{space: s, leqMemo: make(map[uint64]bool)}
+}
+
+// entry returns the status entry for an interned node, growing the dense
+// table as the lazily generated lattice expands.
+func (c *Classifier) entry(id NodeID) *statusEntry {
+	for int(id) >= len(c.entries) {
+		c.entries = append(c.entries, statusEntry{})
+	}
+	return &c.entries[id]
+}
+
+// leq memoizes c.space.Leq per ordered pair of interned nodes.
+func (c *Classifier) leq(a, b *Assignment) bool {
+	k := uint64(a.id)<<32 | uint64(b.id)
+	if v, ok := c.leqMemo[k]; ok {
+		return v
+	}
+	v := c.space.Leq(a, b)
+	c.leqMemo[k] = v
+	return v
 }
 
 // Status classifies the assignment against everything marked so far. When
@@ -69,22 +98,19 @@ func NewClassifier(s *Space) *Classifier {
 // whichever mark is examined first wins; with monotone answers the two can
 // never overlap.
 func (c *Classifier) Status(a *Assignment) Status {
-	e, ok := c.cache[a.Key()]
-	if !ok {
-		e = &statusEntry{}
-		c.cache[a.Key()] = e
-	}
+	a = c.space.Canon(a)
+	e := c.entry(a.id)
 	if e.status != Unknown {
 		return e.status
 	}
-	for ; e.insigIdx < len(c.insigLog); e.insigIdx++ {
-		if c.space.Leq(c.insigLog[e.insigIdx], a) {
+	for ; int(e.insigIdx) < len(c.insigLog); e.insigIdx++ {
+		if c.leq(c.insigLog[e.insigIdx], a) {
 			e.status = Insignificant
 			return e.status
 		}
 	}
-	for ; e.sigIdx < len(c.sigLog); e.sigIdx++ {
-		if c.space.Leq(a, c.sigLog[e.sigIdx]) {
+	for ; int(e.sigIdx) < len(c.sigLog); e.sigIdx++ {
+		if c.leq(a, c.sigLog[e.sigIdx]) {
 			e.status = Significant
 			return e.status
 		}
@@ -95,14 +121,17 @@ func (c *Classifier) Status(a *Assignment) Status {
 // MarkSignificant records that a's support meets the threshold; all
 // predecessors of a become significant (Observation 4.4).
 func (c *Classifier) MarkSignificant(a *Assignment) {
+	a = c.space.Canon(a)
 	// Drop border members dominated by a; skip insertion if dominated.
+	// Each direction of the order is evaluated once per border member.
 	out := c.sig[:0]
 	covered := false
 	for _, b := range c.sig {
-		if c.space.Leq(a, b) {
+		ab := c.leq(a, b)
+		if ab {
 			covered = true
 		}
-		if !c.space.Leq(b, a) || c.space.Leq(a, b) {
+		if !c.leq(b, a) || ab {
 			out = append(out, b)
 		}
 	}
@@ -112,23 +141,21 @@ func (c *Classifier) MarkSignificant(a *Assignment) {
 	}
 	c.sig = append(c.sig, a)
 	c.sigLog = append(c.sigLog, a)
-	if e, ok := c.cache[a.Key()]; ok {
-		e.status = Significant
-	} else {
-		c.cache[a.Key()] = &statusEntry{status: Significant}
-	}
+	c.entry(a.id).status = Significant
 }
 
 // MarkInsignificant records that a's support is below the threshold; all
 // successors of a become insignificant.
 func (c *Classifier) MarkInsignificant(a *Assignment) {
+	a = c.space.Canon(a)
 	out := c.insig[:0]
 	covered := false
 	for _, b := range c.insig {
-		if c.space.Leq(b, a) {
+		ba := c.leq(b, a)
+		if ba {
 			covered = true
 		}
-		if !c.space.Leq(a, b) || c.space.Leq(b, a) {
+		if !c.leq(a, b) || ba {
 			out = append(out, b)
 		}
 	}
@@ -138,11 +165,7 @@ func (c *Classifier) MarkInsignificant(a *Assignment) {
 	}
 	c.insig = append(c.insig, a)
 	c.insigLog = append(c.insigLog, a)
-	if e, ok := c.cache[a.Key()]; ok {
-		e.status = Insignificant
-	} else {
-		c.cache[a.Key()] = &statusEntry{status: Insignificant}
-	}
+	c.entry(a.id).status = Insignificant
 }
 
 // SignificantBorder returns the current antichain of maximal significant

@@ -1,0 +1,20 @@
+package assign
+
+// Test-only hooks that bypass the shared edge cache, so tests (and
+// benchmarks) can pin the cached results against the raw computation.
+
+// UncachedSuccessors recomputes a's successor list without consulting or
+// populating the edge cache.
+func (s *Space) UncachedSuccessors(a *Assignment) []*Assignment {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return s.computeSuccessorsLocked(s.canonLocked(a))
+}
+
+// UncachedPredecessors recomputes a's predecessor list without consulting
+// or populating the edge cache.
+func (s *Space) UncachedPredecessors(a *Assignment) []*Assignment {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return s.computePredecessorsLocked(s.canonLocked(a))
+}

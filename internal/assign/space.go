@@ -28,14 +28,20 @@ type VarSpec struct {
 // with all their generalizations (Algorithm 1, line 1), multiplicity
 // combinations (Proposition 5.1) and MORE-fact extensions. Assignments are
 // generated lazily through Roots, Successors and Predecessors.
+//
+// Every assignment handed out by a Space is interned: structurally equal
+// assignments are the same pointer and carry a dense NodeID, so identity
+// checks are pointer/integer comparisons and per-node state elsewhere can
+// live in slices. Successor/predecessor lists, the root set and closure
+// membership are memoized on the space and shared — concurrency-safely —
+// by every driver, user and re-run over the same query.
 type Space struct {
 	v     *vocab.Vocabulary
 	query *oassisql.Query
 	vars  []VarSpec
 	kinds map[string]vocab.Kind
 
-	valid     []*Assignment
-	validKeys map[string]bool
+	valid []*Assignment
 	// validVals holds the distinct values each bound variable takes
 	// across 𝒜valid; extension (multiplicity) candidates come from here.
 	validVals map[string][]vocab.TermID
@@ -47,8 +53,14 @@ type Space struct {
 
 	morePool ontology.FactSet
 
+	// in is the interner and shared edge/closure/root cache. Its mutex
+	// guards every mutable field below (including coverCache); the
+	// immutable query-derived fields above are read lock-free.
+	in *interner
+
 	// coverCache memoizes productCovered: singleton products repeat
-	// heavily across closure checks of related assignments.
+	// heavily across closure checks of related assignments. Guarded by
+	// in.mu.
 	coverCache map[string]bool
 }
 
@@ -63,9 +75,9 @@ func NewSpace(q *oassisql.Query, bindings []sparql.Binding, morePool ontology.Fa
 		v:          v,
 		query:      q,
 		kinds:      make(map[string]vocab.Kind),
-		validKeys:  make(map[string]bool),
 		validVals:  make(map[string][]vocab.TermID),
 		ub:         make(map[string][]vocab.TermID),
+		in:         newInterner(),
 		coverCache: make(map[string]bool),
 	}
 	whereKinds, err := sparql.VarKinds(q.Where)
@@ -106,8 +118,40 @@ func (s *Space) MorePool() ontology.FactSet { return s.morePool }
 // Leq reports a ≤ b within this space.
 func (s *Space) Leq(a, b *Assignment) bool { return Leq(s.v, s.kinds, a, b) }
 
+// Canon returns the canonical interned twin of a, registering it (and
+// assigning a dense NodeID) on first sight. Assignments returned by Roots,
+// Successors, Predecessors and Valid are already canonical; Canon is for
+// assignments built externally (e.g. planted test fixtures).
+func (s *Space) Canon(a *Assignment) *Assignment {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return s.canonLocked(a)
+}
+
+// canonLocked interns a; caller holds in.mu.
+func (s *Space) canonLocked(a *Assignment) *Assignment {
+	if id := a.id; id != noID && int(id) < len(s.in.nodes) && s.in.nodes[id] == a {
+		return a // already canonical in this space
+	}
+	c, _ := s.in.intern(a)
+	s.in.grow()
+	return c
+}
+
+// NumNodes returns the number of assignments interned so far; NodeIDs are
+// dense in [0, NumNodes). It grows as the lattice is explored lazily.
+func (s *Space) NumNodes() int {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return len(s.in.nodes)
+}
+
 // project dedupes the WHERE bindings projected onto the mining variables.
+// Runs during construction, before the space is shared; it still takes the
+// interner lock for uniformity.
 func (s *Space) project(bindings []sparql.Binding) {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
 	seenVals := map[string]map[vocab.TermID]bool{}
 	for _, vs := range s.vars {
 		seenVals[vs.Name] = map[vocab.TermID]bool{}
@@ -124,11 +168,11 @@ func (s *Space) project(bindings []sparql.Binding) {
 			}
 			vals[vs.Name] = []vocab.TermID{id}
 		}
-		a := New(s.v, s.kinds, vals, nil)
-		if s.validKeys[a.Key()] {
+		a, fresh := s.in.intern(New(s.v, s.kinds, vals, nil))
+		s.in.grow()
+		if !fresh {
 			continue
 		}
-		s.validKeys[a.Key()] = true
 		s.valid = append(s.valid, a)
 		for name, set := range vals {
 			for _, id := range set {
@@ -263,8 +307,19 @@ func (s *Space) ubMinimal(name string) []vocab.TermID {
 // Roots returns the minimal assignments of the space: each variable with
 // Min ≥ 1 takes one most-general value (one root per combination when caps
 // are incomparable), variables with Min = 0 start empty, and there are no
-// MORE facts. The traversal of Algorithm 1 starts here.
+// MORE facts. The traversal of Algorithm 1 starts here. The result is
+// memoized and shared — callers must treat it as read-only.
 func (s *Space) Roots() []*Assignment {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	if !s.in.rootsDone {
+		s.in.roots = s.computeRootsLocked()
+		s.in.rootsDone = true
+	}
+	return s.in.roots
+}
+
+func (s *Space) computeRootsLocked() []*Assignment {
 	choices := make([][]vocab.TermID, 0, len(s.vars))
 	names := make([]string, 0, len(s.vars))
 	for _, vs := range s.vars {
@@ -283,7 +338,7 @@ func (s *Space) Roots() []*Assignment {
 			for j, n := range names {
 				vals[n] = []vocab.TermID{pick[j]}
 			}
-			out = append(out, New(s.v, s.kinds, vals, nil))
+			out = append(out, s.canonLocked(New(s.v, s.kinds, vals, nil)))
 			return
 		}
 		for _, c := range choices[i] {
@@ -302,6 +357,35 @@ func (s *Space) Roots() []*Assignment {
 // MORE fact must generalize some pool fact. Unbound variables are
 // unconstrained.
 func (s *Space) InClosure(a *Assignment) bool {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return s.inClosureLocked(a)
+}
+
+// inClosureLocked memoizes InClosure per interned node; caller holds in.mu.
+func (s *Space) inClosureLocked(a *Assignment) bool {
+	id := a.id
+	interned := id != noID && int(id) < len(s.in.nodes) && s.in.nodes[id] == a
+	if interned {
+		switch s.in.closure[id] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+	}
+	in := s.computeInClosureLocked(a)
+	if interned {
+		if in {
+			s.in.closure[id] = 1
+		} else {
+			s.in.closure[id] = 2
+		}
+	}
+	return in
+}
+
+func (s *Space) computeInClosureLocked(a *Assignment) bool {
 	var bound []VarSpec
 	for _, vs := range s.vars {
 		if vs.Bound && len(a.Values(vs.Name)) > 0 {
@@ -342,7 +426,7 @@ func (s *Space) InClosure(a *Assignment) bool {
 
 // productCovered reports whether the singleton product (bound[i] → pick[i])
 // generalizes some valid assignment. Results are memoized: related
-// assignments share most of their products.
+// assignments share most of their products. Caller holds in.mu.
 func (s *Space) productCovered(bound []VarSpec, pick []vocab.TermID) bool {
 	var kb strings.Builder
 	for i, vs := range bound {
@@ -379,6 +463,12 @@ func (s *Space) productCovered(bound []VarSpec, pick []vocab.TermID) bool {
 // singleton-product over the bound variables is itself a valid assignment.
 // MORE facts never affect validity.
 func (s *Space) IsValid(a *Assignment) bool {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return s.isValidLocked(a)
+}
+
+func (s *Space) isValidLocked(a *Assignment) bool {
 	var bound []VarSpec
 	for _, vs := range s.vars {
 		n := len(a.Values(vs.Name))
@@ -412,7 +502,7 @@ func (s *Space) IsValid(a *Assignment) bool {
 // values on the product's variables. Variables the product omits (legally
 // empty under multiplicity 0) may take any value there: dropping a
 // multiplicity-0 variable deletes its meta-facts, not the assignment's
-// validity (Section 3).
+// validity (Section 3). Caller holds in.mu.
 func (s *Space) validAgrees(bound []VarSpec, pick []vocab.TermID) bool {
 	var kb strings.Builder
 	kb.WriteByte('=')
@@ -496,8 +586,24 @@ func (s *Space) termValues(a *Assignment, t sparql.Term) ([]vocab.TermID, bool) 
 // within 𝒜: one-step specializations of a value, multiplicity extensions by
 // a maximally-general new value derived from the valid assignments
 // (Section 5's combinations), and MORE-fact extensions/specializations.
-// The result is deduplicated and deterministically ordered.
+// The result is deduplicated, deterministically ordered, memoized on the
+// space, and shared — callers must treat it as read-only.
 func (s *Space) Successors(a *Assignment) []*Assignment {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	a = s.canonLocked(a)
+	if s.in.succDone[a.id] {
+		return s.in.succs[a.id]
+	}
+	out := s.computeSuccessorsLocked(a)
+	// computeSuccessorsLocked may have interned new nodes, moving the
+	// backing arrays of the side tables; index afresh.
+	s.in.succs[a.id] = out
+	s.in.succDone[a.id] = true
+	return out
+}
+
+func (s *Space) computeSuccessorsLocked(a *Assignment) []*Assignment {
 	var out []*Assignment
 	// 1. Specialize one value one vocabulary step.
 	for _, vs := range s.vars {
@@ -505,8 +611,8 @@ func (s *Space) Successors(a *Assignment) []*Assignment {
 		for i, v := range vals {
 			for _, c := range s.v.Children(vs.Kind, v) {
 				nv := replaceAt(vals, i, c)
-				cand := s.withVals(a, vs.Name, nv)
-				if cand.Key() != a.Key() && s.InClosure(cand) {
+				cand := s.canonLocked(s.withVals(a, vs.Name, nv))
+				if cand != a && s.inClosureLocked(cand) {
 					out = append(out, cand)
 				}
 			}
@@ -524,14 +630,15 @@ func (s *Space) Successors(a *Assignment) []*Assignment {
 			if len(cand.Values(vs.Name)) != len(vals)+1 {
 				continue // absorbed by canonicalization
 			}
-			if cand.Key() != a.Key() && s.InClosure(cand) {
+			cand = s.canonLocked(cand)
+			if cand != a && s.inClosureLocked(cand) {
 				out = append(out, cand)
 			}
 		}
 	}
 	// 3. MORE-fact moves.
 	if len(s.morePool) > 0 {
-		out = append(out, s.moreSuccessors(a)...)
+		out = append(out, s.moreSuccessorsLocked(a)...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return dedupe(out)
@@ -583,9 +690,9 @@ func (s *Space) extensionCandidates(vs VarSpec, cur []vocab.TermID) []vocab.Term
 	return out
 }
 
-// moreSuccessors extends the assignment with a pool fact or specializes an
-// existing MORE fact one step (staying below some pool fact).
-func (s *Space) moreSuccessors(a *Assignment) []*Assignment {
+// moreSuccessorsLocked extends the assignment with a pool fact or
+// specializes an existing MORE fact one step (staying below some pool fact).
+func (s *Space) moreSuccessorsLocked(a *Assignment) []*Assignment {
 	var out []*Assignment
 	cur := a.More()
 	// Add a pool fact incomparable to the current MORE facts.
@@ -601,8 +708,8 @@ func (s *Space) moreSuccessors(a *Assignment) []*Assignment {
 			continue
 		}
 		nm := append(append(ontology.FactSet{}, cur...), g)
-		cand := s.withMore(a, nm)
-		if cand.Key() != a.Key() && s.InClosure(cand) {
+		cand := s.canonLocked(s.withMore(a, nm))
+		if cand != a && s.inClosureLocked(cand) {
 			out = append(out, cand)
 		}
 	}
@@ -611,8 +718,8 @@ func (s *Space) moreSuccessors(a *Assignment) []*Assignment {
 		for _, fc := range s.factSpecializations(f) {
 			nm := append(ontology.FactSet{}, cur...)
 			nm[i] = fc
-			cand := s.withMore(a, nm)
-			if cand.Key() != a.Key() && s.InClosure(cand) {
+			cand := s.canonLocked(s.withMore(a, nm))
+			if cand != a && s.inClosureLocked(cand) {
 				out = append(out, cand)
 			}
 		}
@@ -645,7 +752,21 @@ func (s *Space) factSpecializations(f ontology.Fact) []ontology.Fact {
 // Predecessors generates the immediate generalizations of an assignment:
 // one-step generalization of a value (within the cap region), removal of a
 // value from a multiplicity set, and generalization/removal of MORE facts.
+// Like Successors, the result is memoized and shared — read-only.
 func (s *Space) Predecessors(a *Assignment) []*Assignment {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	a = s.canonLocked(a)
+	if s.in.predDone[a.id] {
+		return s.in.preds[a.id]
+	}
+	out := s.computePredecessorsLocked(a)
+	s.in.preds[a.id] = out
+	s.in.predDone[a.id] = true
+	return out
+}
+
+func (s *Space) computePredecessorsLocked(a *Assignment) []*Assignment {
 	var out []*Assignment
 	for _, vs := range s.vars {
 		vals := a.Values(vs.Name)
@@ -654,14 +775,14 @@ func (s *Space) Predecessors(a *Assignment) []*Assignment {
 				if !s.withinUB(vs.Name, p) {
 					continue
 				}
-				cand := s.withVals(a, vs.Name, replaceAt(vals, i, p))
-				if cand.Key() != a.Key() {
+				cand := s.canonLocked(s.withVals(a, vs.Name, replaceAt(vals, i, p)))
+				if cand != a {
 					out = append(out, cand)
 				}
 			}
 			if len(vals)-1 >= vs.Mult.Min && len(vals) > 1 {
-				cand := s.withVals(a, vs.Name, removeAt(vals, i))
-				if cand.Key() != a.Key() {
+				cand := s.canonLocked(s.withVals(a, vs.Name, removeAt(vals, i)))
+				if cand != a {
 					out = append(out, cand)
 				}
 			}
@@ -671,15 +792,15 @@ func (s *Space) Predecessors(a *Assignment) []*Assignment {
 	for i, f := range cur {
 		nm := append(ontology.FactSet{}, cur...)
 		nm = append(nm[:i], nm[i+1:]...)
-		cand := s.withMore(a, nm)
-		if cand.Key() != a.Key() {
+		cand := s.canonLocked(s.withMore(a, nm))
+		if cand != a {
 			out = append(out, cand)
 		}
 		for _, fg := range s.factGeneralizations(f) {
 			nm2 := append(ontology.FactSet{}, cur...)
 			nm2[i] = fg
-			cand := s.withMore(a, nm2)
-			if cand.Key() != a.Key() {
+			cand := s.canonLocked(s.withMore(a, nm2))
+			if cand != a {
 				out = append(out, cand)
 			}
 		}
@@ -743,14 +864,16 @@ func removeAt(vals []vocab.TermID, i int) []vocab.TermID {
 	return out
 }
 
+// dedupe removes adjacent duplicates from a sorted slice of interned
+// assignments. Interning makes equality pointer equality.
 func dedupe(as []*Assignment) []*Assignment {
 	out := as[:0]
-	prev := ""
-	for i, a := range as {
-		if i == 0 || a.Key() != prev {
+	var prev *Assignment
+	for _, a := range as {
+		if a != prev {
 			out = append(out, a)
 		}
-		prev = a.Key()
+		prev = a
 	}
 	return out
 }

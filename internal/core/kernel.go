@@ -35,11 +35,15 @@ type kernel struct {
 	stats   Stats
 	rng     *rand.Rand
 
-	byKey map[string]*assign.Assignment
-	succs map[string][]*assign.Assignment
+	// tracked lists, in first-seen order, the lattice nodes this run has
+	// materialized (the Space and its edge cache are shared across runs,
+	// so the per-run Generated accounting lives here); gen is its
+	// membership set, indexed by NodeID.
+	tracked []*assign.Assignment
+	gen     idSet
 
 	// decided freezes the first aggregator verdict per assignment.
-	decided map[string]crowd.Decision
+	decided map[assign.NodeID]crowd.Decision
 
 	users   []*userState
 	checker *crowd.ConsistencyChecker
@@ -48,7 +52,7 @@ type kernel struct {
 	probes      []*assign.Assignment
 	probesBuilt bool
 
-	confirmed map[string]bool
+	confirmed map[assign.NodeID]bool
 	stopped   bool
 
 	// quota is the aggregator's answers-per-assignment target (0 when
@@ -57,7 +61,15 @@ type kernel struct {
 	// the crowd spreads across the frontier instead of dog-piling one
 	// node, matching what the apply-as-you-go sequential loop did.
 	quota    int
-	inFlight map[string]int
+	inFlight map[assign.NodeID]int
+
+	// Per-selectMining traversal scratch, reused across calls: visited
+	// is an epoch-stamped per-node mark (a slot equals epoch iff the
+	// node was reached this traversal — no per-call map allocation) and
+	// queueBuf is the BFS queue's backing array.
+	visited  []uint32
+	epoch    uint32
+	queueBuf []*assign.Assignment
 
 	nextAskID int64
 	// transcripts records, per member, every usable answer in order —
@@ -77,7 +89,7 @@ type kernel struct {
 type userState struct {
 	id      string
 	index   int
-	answers map[string]float64
+	answers map[assign.NodeID]float64
 	pruned  map[vocab.TermID]bool
 	asked   int
 	banned  bool
@@ -105,9 +117,24 @@ type pendingAsk struct {
 
 // answeredYes reports whether the member answered the assignment with
 // support at or above the threshold.
-func (u *userState) answeredYes(key string, theta float64) bool {
-	s, ok := u.answers[key]
+func (u *userState) answeredYes(id assign.NodeID, theta float64) bool {
+	s, ok := u.answers[id]
 	return ok && s >= theta
+}
+
+// idSet is a growable membership set over dense NodeIDs.
+type idSet struct{ bits []bool }
+
+// add inserts id, growing the set; it reports whether id was absent.
+func (s *idSet) add(id assign.NodeID) bool {
+	for int(id) >= len(s.bits) {
+		s.bits = append(s.bits, false)
+	}
+	if s.bits[id] {
+		return false
+	}
+	s.bits[id] = true
+	return true
 }
 
 // newKernel builds the mining state machine for the given member IDs.
@@ -123,10 +150,8 @@ func newKernel(sp *assign.Space, ids []string, cfg EngineConfig) *kernel {
 		global:    assign.NewClassifier(sp),
 		tracker:   newProgressTracker(sp),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		byKey:     make(map[string]*assign.Assignment),
-		succs:     make(map[string][]*assign.Assignment),
-		decided:   make(map[string]crowd.Decision),
-		confirmed: make(map[string]bool),
+		decided:   make(map[assign.NodeID]crowd.Decision),
+		confirmed: make(map[assign.NodeID]bool),
 	}
 	if cfg.Consistency {
 		k.checker = crowd.NewConsistencyChecker(sp.Vocabulary())
@@ -141,7 +166,7 @@ func newKernel(sp *assign.Space, ids []string, cfg EngineConfig) *kernel {
 		k.users = append(k.users, &userState{
 			id:      id,
 			index:   i,
-			answers: make(map[string]float64),
+			answers: make(map[assign.NodeID]float64),
 			pruned:  make(map[vocab.TermID]bool),
 		})
 	}
@@ -157,7 +182,11 @@ func (k *kernel) beginRound() []*crowd.Ask {
 	if k.stopped {
 		return nil
 	}
-	k.inFlight = make(map[string]int)
+	if k.inFlight == nil {
+		k.inFlight = make(map[assign.NodeID]int)
+	} else {
+		clear(k.inFlight)
+	}
 	var asks []*crowd.Ask
 	for _, u := range k.users {
 		if k.stopped {
@@ -207,7 +236,7 @@ func (k *kernel) selectProbe(u *userState) *crowd.Ask {
 	}
 	for u.probeIdx < len(k.probes) {
 		p := k.probes[u.probeIdx]
-		if _, answered := u.answers[p.Key()]; answered {
+		if _, answered := u.answers[p.ID()]; answered {
 			u.probeIdx++
 			continue
 		}
@@ -247,15 +276,14 @@ func (k *kernel) probeChain(n int) []*assign.Assignment {
 // nothing to do this round (other members' answers may unlock them
 // later).
 func (k *kernel) selectMining(u *userState) *crowd.Ask {
-	queue := k.roots()
-	seen := make(map[string]bool, len(queue))
-	for len(queue) > 0 {
-		a := queue[0]
-		queue = queue[1:]
-		if seen[a.Key()] {
+	k.epoch++
+	queue := append(k.queueBuf[:0], k.roots()...)
+	defer func() { k.queueBuf = queue[:0] }()
+	for head := 0; head < len(queue); head++ {
+		a := queue[head]
+		if k.alreadyVisited(a.ID()) {
 			continue
 		}
-		seen[a.Key()] = true
 
 		if k.globalStatus(a) == assign.Insignificant {
 			continue // pruned globally (modification 4)
@@ -265,7 +293,7 @@ func (k *kernel) selectMining(u *userState) *crowd.Ask {
 			// this member's own view (the outer loop must still
 			// collect their answers for deeper, undecided nodes —
 			// the Section 4.2 refinement), without re-asking.
-			if u.answeredYes(a.Key(), k.cfg.Theta) {
+			if u.answeredYes(a.ID(), k.cfg.Theta) {
 				if ask := k.maybeSpecialize(u, a); ask != nil {
 					return ask
 				}
@@ -274,7 +302,7 @@ func (k *kernel) selectMining(u *userState) *crowd.Ask {
 			continue
 		}
 		// Globally undecided: collect this member's answer if missing.
-		if _, answered := u.answers[a.Key()]; !answered {
+		if _, answered := u.answers[a.ID()]; !answered {
 			if k.assignmentPruned(u, a) {
 				// Auto-answer 0 from an earlier pruning click.
 				k.recordAnswer(u, a, 0, true)
@@ -290,7 +318,7 @@ func (k *kernel) selectMining(u *userState) *crowd.Ask {
 		}
 		// Answered: the member dives below only after a personal yes
 		// (modification 4); a personal no leaves the region to others.
-		if u.answeredYes(a.Key(), k.cfg.Theta) {
+		if u.answeredYes(a.ID(), k.cfg.Theta) {
 			if ask := k.maybeSpecialize(u, a); ask != nil {
 				return ask
 			}
@@ -298,6 +326,21 @@ func (k *kernel) selectMining(u *userState) *crowd.Ask {
 		}
 	}
 	return nil
+}
+
+// alreadyVisited marks a node as reached in the current selectMining
+// traversal and reports whether it had been reached before. Slots are
+// epoch-stamped so the scratch is reset by bumping k.epoch, not by
+// reallocating.
+func (k *kernel) alreadyVisited(id assign.NodeID) bool {
+	for int(id) >= len(k.visited) {
+		k.visited = append(k.visited, 0)
+	}
+	if k.visited[id] == k.epoch {
+		return true
+	}
+	k.visited[id] = k.epoch
+	return false
 }
 
 // maybeSpecialize rolls the question-type choice at a personally-
@@ -312,7 +355,7 @@ func (k *kernel) maybeSpecialize(u *userState, base *assign.Assignment) *crowd.A
 		if k.globalStatus(succ) != assign.Unknown {
 			continue
 		}
-		if _, answered := u.answers[succ.Key()]; answered {
+		if _, answered := u.answers[succ.ID()]; answered {
 			continue
 		}
 		if k.assignmentPruned(u, succ) {
@@ -348,11 +391,11 @@ func (k *kernel) coveredInFlight(a *assign.Assignment) bool {
 	if k.quota <= 0 {
 		return false
 	}
-	need := k.quota - k.agg.Answers(a.Key())
+	need := k.quota - k.agg.Answers(a.ID())
 	if need < 1 {
 		need = 1
 	}
-	return k.inFlight[a.Key()] >= need
+	return k.inFlight[a.ID()] >= need
 }
 
 // emitConcrete builds the Ask event for one concrete question.
@@ -366,7 +409,7 @@ func (k *kernel) emitConcrete(u *userState, a *assign.Assignment, probe bool) *c
 		Target: k.space.Instantiate(a),
 	}
 	u.pending = &pendingAsk{ask: ask, target: a, probe: probe}
-	k.inFlight[a.Key()]++
+	k.inFlight[a.ID()]++
 	return ask
 }
 
@@ -432,19 +475,25 @@ func (k *kernel) apply(r crowd.Reply) {
 				u.pruned[t] = true
 			}
 		}
-		k.transcribe(u, "concrete "+p.target.Key())
+		if k.transcripts != nil {
+			k.transcribe(u, "concrete "+p.target.Key())
+		}
 		k.recordAnswer(u, p.target, r.Support, false)
 	case crowd.SpecializeAsk:
 		k.stats.SpecialQ++
 		if r.Choice < 0 || r.Choice >= len(p.open) {
 			k.stats.NoneOfThese++
 			k.stats.AutoAnswers += len(p.open) - 1
-			k.transcribe(u, "specialize "+p.base.Key()+" -> none")
+			if k.transcripts != nil {
+				k.transcribe(u, "specialize "+p.base.Key()+" -> none")
+			}
 			for _, o := range p.open {
 				k.recordAnswer(u, o, 0, true)
 			}
 		} else {
-			k.transcribe(u, "specialize "+p.base.Key()+" -> "+p.open[r.Choice].Key())
+			if k.transcripts != nil {
+				k.transcribe(u, "specialize "+p.base.Key()+" -> "+p.open[r.Choice].Key())
+			}
 			k.recordAnswer(u, p.open[r.Choice], r.Support, false)
 		}
 	}
@@ -452,11 +501,11 @@ func (k *kernel) apply(r crowd.Reply) {
 	k.reviewBan(u)
 }
 
-// transcribe appends one interview-log line for the member.
+// transcribe appends one interview-log line for the member. Callers guard
+// with k.transcripts != nil so the log line (and its string concatenation)
+// is only built when transcripts are recorded.
 func (k *kernel) transcribe(u *userState, line string) {
-	if k.transcripts != nil {
-		k.transcripts[u.id] = append(k.transcripts[u.id], line)
-	}
+	k.transcripts[u.id] = append(k.transcripts[u.id], line)
 }
 
 // reviewBan applies the Section 4.2 spammer filter after an answer.
@@ -475,25 +524,25 @@ func (k *kernel) reviewBan(u *userState) {
 // verdict — the global classifier. auto marks answers obtained without a
 // question (pruning inference, none-of-these fan-out).
 func (k *kernel) recordAnswer(u *userState, a *assign.Assignment, support float64, auto bool) {
-	u.answers[a.Key()] = support
+	u.answers[a.ID()] = support
 	if auto {
 		k.stats.AutoAnswers++
 	}
 	if k.checker != nil && !auto {
 		k.checker.Record(u.id, k.space.Instantiate(a), support)
 	}
-	if _, settled := k.decided[a.Key()]; settled {
+	if _, settled := k.decided[a.ID()]; settled {
 		return
 	}
-	k.agg.Add(a.Key(), u.id, support)
-	if d := k.agg.Decide(a.Key()); d != crowd.Undecided {
+	k.agg.Add(a.ID(), u.id, support)
+	if d := k.agg.Decide(a.ID()); d != crowd.Undecided {
 		k.settle(a, d)
 	}
 }
 
 // settle freezes the aggregator verdict and updates the global classifier.
 func (k *kernel) settle(a *assign.Assignment, d crowd.Decision) {
-	k.decided[a.Key()] = d
+	k.decided[a.ID()] = d
 	if d == crowd.OverallSignificant {
 		if k.global.Status(a) != assign.Significant {
 			k.global.MarkSignificant(a)
@@ -517,20 +566,19 @@ func (k *kernel) finalize() {
 		// unexplored remainder stays unclassified by design.
 		return
 	}
-	keys := make([]string, 0, len(k.byKey))
-	for key := range k.byKey {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		a := k.byKey[key]
-		if _, settled := k.decided[key]; settled {
+	// Deterministic finalization order: by canonical key, matching the
+	// pre-interning behavior (tracked is in nondeterministic-looking but
+	// run-deterministic first-seen order; sorting pins it either way).
+	nodes := append([]*assign.Assignment{}, k.tracked...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key() < nodes[j].Key() })
+	for _, a := range nodes {
+		if _, settled := k.decided[a.ID()]; settled {
 			continue
 		}
 		if k.globalStatus(a) != assign.Unknown {
 			continue
 		}
-		if k.agg.Answers(key) > 0 && k.agg.Support(key) >= k.cfg.Theta {
+		if k.agg.Answers(a.ID()) > 0 && k.agg.Support(a.ID()) >= k.cfg.Theta {
 			k.settle(a, crowd.OverallSignificant)
 		} else {
 			k.settle(a, crowd.OverallInsignificant)
@@ -570,38 +618,38 @@ func (k *kernel) assignmentPruned(u *userState, a *assign.Assignment) bool {
 	return false
 }
 
-func (k *kernel) intern(a *assign.Assignment) *assign.Assignment {
-	if prev, ok := k.byKey[a.Key()]; ok {
-		return prev
+// track records that this run has materialized the node; Generated counts
+// per-run laziness even though the Space (and its interner) is shared.
+func (k *kernel) track(a *assign.Assignment) {
+	if k.gen.add(a.ID()) {
+		k.tracked = append(k.tracked, a)
+		k.stats.Generated++
 	}
-	k.byKey[a.Key()] = a
-	k.stats.Generated++
-	return a
 }
 
+// successors returns the node's successor list from the space's shared edge
+// cache (computed at most once per node across all runs). The slice is
+// shared and read-only.
 func (k *kernel) successors(a *assign.Assignment) []*assign.Assignment {
-	if cached, ok := k.succs[a.Key()]; ok {
-		return cached
-	}
 	out := k.space.Successors(a)
-	for i, x := range out {
-		out[i] = k.intern(x)
+	for _, x := range out {
+		k.track(x)
 	}
-	k.succs[a.Key()] = out
 	return out
 }
 
+// roots returns the space's memoized root set (shared, read-only).
 func (k *kernel) roots() []*assign.Assignment {
 	rs := k.space.Roots()
-	for i, r := range rs {
-		rs[i] = k.intern(r)
+	for _, r := range rs {
+		k.track(r)
 	}
 	return rs
 }
 
 func (k *kernel) checkConfirmations() {
 	for _, b := range k.global.SignificantBorder() {
-		if k.confirmed[b.Key()] {
+		if k.confirmed[b.ID()] {
 			continue
 		}
 		done := true
@@ -612,7 +660,7 @@ func (k *kernel) checkConfirmations() {
 			}
 		}
 		if done {
-			k.confirmed[b.Key()] = true
+			k.confirmed[b.ID()] = true
 			k.tracker.onMSP(b)
 			if k.cfg.OnMSP != nil {
 				k.cfg.OnMSP(b)
@@ -625,9 +673,10 @@ func (k *kernel) checkConfirmations() {
 }
 
 func (k *kernel) explain(a *assign.Assignment) []Provenance {
+	a = k.space.Canon(a)
 	var out []Provenance
 	for _, u := range k.users {
-		if s, ok := u.answers[a.Key()]; ok {
+		if s, ok := u.answers[a.ID()]; ok {
 			out = append(out, Provenance{MemberID: u.id, Support: s})
 		}
 	}
@@ -643,10 +692,13 @@ func (k *kernel) flaggedSpammers() []string {
 }
 
 func (k *kernel) result() *Result {
+	// Supports stays string-keyed: it is part of the public Result API
+	// and the HTTP wire format; the translation from NodeIDs happens
+	// once here, off the hot path.
 	res := &Result{Stats: k.stats, Supports: make(map[string]float64)}
-	for key := range k.byKey {
-		if k.agg.Answers(key) > 0 {
-			res.Supports[key] = k.agg.Support(key)
+	for _, a := range k.tracked {
+		if k.agg.Answers(a.ID()) > 0 {
+			res.Supports[a.Key()] = k.agg.Support(a.ID())
 		}
 	}
 	if k.transcripts != nil {
@@ -656,7 +708,7 @@ func (k *kernel) result() *Result {
 	if k.stopped {
 		border = border[:0]
 		for _, b := range k.global.SignificantBorder() {
-			if k.confirmed[b.Key()] {
+			if k.confirmed[b.ID()] {
 				border = append(border, b)
 			}
 		}
@@ -668,7 +720,7 @@ func (k *kernel) result() *Result {
 			res.ValidMSPs = append(res.ValidMSPs, b)
 		}
 	}
-	for _, a := range k.byKey {
+	for _, a := range k.tracked {
 		if k.global.Status(a) == assign.Significant {
 			res.Significant = append(res.Significant, a)
 		}

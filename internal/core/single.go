@@ -90,10 +90,12 @@ type session struct {
 	stats   Stats
 	rng     *rand.Rand
 
-	// byKey interns every materialized assignment.
-	byKey map[string]*assign.Assignment
-	// succs caches lazy successor generation per assignment key.
-	succs map[string][]*assign.Assignment
+	// tracked lists the lattice nodes this run has materialized, in
+	// first-seen order (the Space and its edge cache are shared across
+	// runs; the per-run Generated accounting lives here). gen is its
+	// membership set, indexed by NodeID.
+	tracked []*assign.Assignment
+	gen     idSet
 
 	// prunedE holds element terms the user marked irrelevant.
 	prunedE map[vocab.TermID]bool
@@ -103,10 +105,10 @@ type session struct {
 	watch   []*assign.Assignment
 	watchAt []int
 
-	// supports records the member's answered support per assignment key.
-	supports map[string]float64
+	// supports records the member's answered support per assignment.
+	supports map[assign.NodeID]float64
 
-	confirmed map[string]bool // assignments confirmed as MSPs
+	confirmed map[assign.NodeID]bool // assignments confirmed as MSPs
 	maxMSPs   int
 	onMSP     func(*assign.Assignment)
 	stopped   bool
@@ -118,13 +120,11 @@ func newSession(sp *assign.Space, theta float64, watch []*assign.Assignment) *se
 		theta:     theta,
 		cls:       assign.NewClassifier(sp),
 		tracker:   newProgressTracker(sp),
-		byKey:     make(map[string]*assign.Assignment),
-		succs:     make(map[string][]*assign.Assignment),
 		prunedE:   make(map[vocab.TermID]bool),
-		supports:  make(map[string]float64),
+		supports:  make(map[assign.NodeID]float64),
 		watch:     watch,
 		watchAt:   make([]int, len(watch)),
-		confirmed: make(map[string]bool),
+		confirmed: make(map[assign.NodeID]bool),
 	}
 	for i := range s.watchAt {
 		s.watchAt[i] = -1
@@ -132,34 +132,29 @@ func newSession(sp *assign.Space, theta float64, watch []*assign.Assignment) *se
 	return s
 }
 
-// intern registers a materialized assignment for the laziness statistics.
-func (s *session) intern(a *assign.Assignment) *assign.Assignment {
-	if prev, ok := s.byKey[a.Key()]; ok {
-		return prev
+// track registers a materialized assignment for the laziness statistics.
+func (s *session) track(a *assign.Assignment) {
+	if s.gen.add(a.ID()) {
+		s.tracked = append(s.tracked, a)
+		s.stats.Generated++
 	}
-	s.byKey[a.Key()] = a
-	s.stats.Generated++
-	return a
 }
 
-// successors returns the cached lazy successors of a.
+// successors returns the node's successors from the space's shared edge
+// cache (shared slice, read-only).
 func (s *session) successors(a *assign.Assignment) []*assign.Assignment {
-	if cached, ok := s.succs[a.Key()]; ok {
-		return cached
-	}
 	out := s.space.Successors(a)
-	for i, x := range out {
-		out[i] = s.intern(x)
+	for _, x := range out {
+		s.track(x)
 	}
-	s.succs[a.Key()] = out
 	return out
 }
 
-// roots returns the interned space roots.
+// roots returns the space's memoized roots (shared slice, read-only).
 func (s *session) roots() []*assign.Assignment {
 	rs := s.space.Roots()
-	for i, r := range rs {
-		rs[i] = s.intern(r)
+	for _, r := range rs {
+		s.track(r)
 	}
 	return rs
 }
@@ -223,7 +218,7 @@ func (s *session) markInsignificant(a *assign.Assignment) {
 // successors are classified insignificant to confirmed MSPs.
 func (s *session) checkConfirmations() {
 	for _, b := range s.cls.SignificantBorder() {
-		if s.confirmed[b.Key()] {
+		if s.confirmed[b.ID()] {
 			continue
 		}
 		done := true
@@ -234,7 +229,7 @@ func (s *session) checkConfirmations() {
 			}
 		}
 		if done {
-			s.confirmed[b.Key()] = true
+			s.confirmed[b.ID()] = true
 			s.tracker.onMSP(b)
 			if s.onMSP != nil {
 				s.onMSP(b)
@@ -271,7 +266,7 @@ func (s *session) askConcrete(m crowd.Member, a *assign.Assignment) bool {
 			s.prunedE[t] = true
 		}
 	}
-	s.supports[a.Key()] = resp.Support
+	s.supports[a.ID()] = resp.Support
 	sig := resp.Support >= s.theta
 	if sig {
 		s.markSignificant(a)
@@ -357,7 +352,7 @@ func (s *session) askSpecialization(m crowd.Member, base *assign.Assignment, ope
 		return nil, false
 	}
 	chosen := open[idx]
-	s.supports[chosen.Key()] = resp.Support
+	s.supports[chosen.ID()] = resp.Support
 	sig := resp.Support >= s.theta
 	if sig {
 		s.markSignificant(chosen)
@@ -372,15 +367,15 @@ func (s *session) askSpecialization(m crowd.Member, base *assign.Assignment, ope
 // assignments to the first unclassified one (the outer-loop pick of
 // Algorithm 1, in the refined start-at-the-top form of Section 4.2).
 func (s *session) minimalUnclassified() *assign.Assignment {
-	queue := s.roots()
-	seen := make(map[string]bool, len(queue))
+	queue := append([]*assign.Assignment{}, s.roots()...)
+	seen := make(map[assign.NodeID]bool, len(queue))
 	for len(queue) > 0 {
 		a := queue[0]
 		queue = queue[1:]
-		if seen[a.Key()] {
+		if seen[a.ID()] {
 			continue
 		}
-		seen[a.Key()] = true
+		seen[a.ID()] = true
 		switch s.cls.Status(a) {
 		case assign.Unknown:
 			if s.pruned(a) {
@@ -413,10 +408,10 @@ func (s *session) runHorizontal(m crowd.Member) {
 			return heap[i].a.Key() < heap[j].a.Key()
 		})
 	}
-	seen := map[string]bool{}
+	seen := map[assign.NodeID]bool{}
 	for _, r := range s.roots() {
-		if !seen[r.Key()] {
-			seen[r.Key()] = true
+		if !seen[r.ID()] {
+			seen[r.ID()] = true
 			push(r)
 		}
 	}
@@ -436,8 +431,8 @@ func (s *session) runHorizontal(m crowd.Member) {
 			}
 		}
 		for _, succ := range s.successors(a) {
-			if !seen[succ.Key()] {
-				seen[succ.Key()] = true
+			if !seen[succ.ID()] {
+				seen[succ.ID()] = true
 				push(succ)
 			}
 		}
@@ -495,7 +490,7 @@ func (s *session) runNaive(m crowd.Member) {
 		if s.stopped {
 			break
 		}
-		a = s.intern(a)
+		s.track(a)
 		if s.cls.Status(a) != assign.Unknown {
 			continue
 		}
@@ -503,15 +498,21 @@ func (s *session) runNaive(m crowd.Member) {
 	}
 }
 
-// result finalizes the run.
+// result finalizes the run. Supports is translated to the string-keyed
+// public form here, once, off the hot path.
 func (s *session) result() *Result {
-	res := &Result{Stats: s.stats, Supports: s.supports}
+	res := &Result{Stats: s.stats, Supports: make(map[string]float64, len(s.supports))}
+	for _, a := range s.tracked {
+		if sup, ok := s.supports[a.ID()]; ok {
+			res.Supports[a.Key()] = sup
+		}
+	}
 	res.Stats.WatchDiscoveredAt = s.watchAt
 	border := append([]*assign.Assignment{}, s.cls.SignificantBorder()...)
 	if s.stopped {
 		border = border[:0]
 		for _, b := range s.cls.SignificantBorder() {
-			if s.confirmed[b.Key()] {
+			if s.confirmed[b.ID()] {
 				border = append(border, b)
 			}
 		}
@@ -523,7 +524,7 @@ func (s *session) result() *Result {
 			res.ValidMSPs = append(res.ValidMSPs, b)
 		}
 	}
-	for _, a := range s.byKey {
+	for _, a := range s.tracked {
 		if s.cls.Status(a) == assign.Significant {
 			res.Significant = append(res.Significant, a)
 		}

@@ -117,15 +117,15 @@ type progressTracker struct {
 	space           *assign.Space
 	unclassifiedVal []*assign.Assignment
 	classifiedValid int
-	mspSeen         map[string]bool
-	validMSPSeen    map[string]bool
+	mspSeen         map[assign.NodeID]bool
+	validMSPSeen    map[assign.NodeID]bool
 }
 
 func newProgressTracker(sp *assign.Space) *progressTracker {
 	t := &progressTracker{
 		space:        sp,
-		mspSeen:      make(map[string]bool),
-		validMSPSeen: make(map[string]bool),
+		mspSeen:      make(map[assign.NodeID]bool),
+		validMSPSeen: make(map[assign.NodeID]bool),
 	}
 	t.unclassifiedVal = append(t.unclassifiedVal, sp.Valid()...)
 	return t
@@ -153,7 +153,7 @@ func (t *progressTracker) onMark(a *assign.Assignment, sig bool) {
 
 // onMSP records a confirmed MSP (idempotent).
 func (t *progressTracker) onMSP(a *assign.Assignment) {
-	k := a.Key()
+	k := a.ID()
 	if t.mspSeen[k] {
 		return
 	}

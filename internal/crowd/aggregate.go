@@ -1,5 +1,7 @@
 package crowd
 
+import "oassis/internal/assign"
+
 // Decision is the black-box aggregator's verdict for one assignment
 // (Section 4.2: "yes, no, and undecided").
 type Decision uint8
@@ -27,16 +29,18 @@ func (d Decision) String() string {
 // Aggregator is the black-box of Section 4.2: it decides (i) whether enough
 // answers have been gathered for an assignment and (ii) whether the
 // assignment is overall significant. Implementations are keyed by the
-// assignment's canonical key.
+// assignment's interned NodeID — an integer, so the per-answer hot path
+// never hashes canonical key strings. String-keyed wire formats (the HTTP
+// platform, the crowd-answer cache) translate at the edges.
 type Aggregator interface {
 	// Add records one member's support answer for the assignment.
-	Add(key string, memberID string, support float64)
+	Add(id assign.NodeID, memberID string, support float64)
 	// Decide returns the current verdict for the assignment.
-	Decide(key string) Decision
+	Decide(id assign.NodeID) Decision
 	// Answers returns how many answers were recorded for the assignment.
-	Answers(key string) int
+	Answers(id assign.NodeID) int
 	// Support returns the aggregated support (0 when undecided).
-	Support(key string) float64
+	Support(id assign.NodeID) float64
 }
 
 // MeanAggregator is the paper's experimental decision mechanism
@@ -49,7 +53,7 @@ type MeanAggregator struct {
 	// Theta is the support threshold of the query.
 	Theta float64
 
-	answers map[string][]answer
+	answers map[assign.NodeID][]answer
 }
 
 type answer struct {
@@ -59,12 +63,12 @@ type answer struct {
 
 // NewMeanAggregator builds the paper's K-answers-mean aggregator.
 func NewMeanAggregator(k int, theta float64) *MeanAggregator {
-	return &MeanAggregator{K: k, Theta: theta, answers: make(map[string][]answer)}
+	return &MeanAggregator{K: k, Theta: theta, answers: make(map[assign.NodeID][]answer)}
 }
 
 // Add implements Aggregator. A member's repeated answer for the same
 // assignment replaces the earlier one (cache replays keep the first).
-func (m *MeanAggregator) Add(key, memberID string, support float64) {
+func (m *MeanAggregator) Add(key assign.NodeID, memberID string, support float64) {
 	for i, a := range m.answers[key] {
 		if a.member == memberID {
 			m.answers[key][i].support = support
@@ -75,7 +79,7 @@ func (m *MeanAggregator) Add(key, memberID string, support float64) {
 }
 
 // Decide implements Aggregator.
-func (m *MeanAggregator) Decide(key string) Decision {
+func (m *MeanAggregator) Decide(key assign.NodeID) Decision {
 	as := m.answers[key]
 	if len(as) < m.K {
 		return Undecided
@@ -87,10 +91,10 @@ func (m *MeanAggregator) Decide(key string) Decision {
 }
 
 // Answers implements Aggregator.
-func (m *MeanAggregator) Answers(key string) int { return len(m.answers[key]) }
+func (m *MeanAggregator) Answers(key assign.NodeID) int { return len(m.answers[key]) }
 
 // Support implements Aggregator.
-func (m *MeanAggregator) Support(key string) float64 {
+func (m *MeanAggregator) Support(key assign.NodeID) float64 {
 	return m.mean(m.answers[key])
 }
 
@@ -113,16 +117,16 @@ type MajorityAggregator struct {
 	K     int
 	Theta float64
 
-	votes map[string][]answer
+	votes map[assign.NodeID][]answer
 }
 
 // NewMajorityAggregator builds a majority-vote aggregator.
 func NewMajorityAggregator(k int, theta float64) *MajorityAggregator {
-	return &MajorityAggregator{K: k, Theta: theta, votes: make(map[string][]answer)}
+	return &MajorityAggregator{K: k, Theta: theta, votes: make(map[assign.NodeID][]answer)}
 }
 
 // Add implements Aggregator.
-func (m *MajorityAggregator) Add(key, memberID string, support float64) {
+func (m *MajorityAggregator) Add(key assign.NodeID, memberID string, support float64) {
 	for i, a := range m.votes[key] {
 		if a.member == memberID {
 			m.votes[key][i].support = support
@@ -133,7 +137,7 @@ func (m *MajorityAggregator) Add(key, memberID string, support float64) {
 }
 
 // Decide implements Aggregator.
-func (m *MajorityAggregator) Decide(key string) Decision {
+func (m *MajorityAggregator) Decide(key assign.NodeID) Decision {
 	as := m.votes[key]
 	if len(as) < m.K {
 		return Undecided
@@ -151,10 +155,10 @@ func (m *MajorityAggregator) Decide(key string) Decision {
 }
 
 // Answers implements Aggregator.
-func (m *MajorityAggregator) Answers(key string) int { return len(m.votes[key]) }
+func (m *MajorityAggregator) Answers(key assign.NodeID) int { return len(m.votes[key]) }
 
 // Support implements Aggregator: the fraction of yes votes.
-func (m *MajorityAggregator) Support(key string) float64 {
+func (m *MajorityAggregator) Support(key assign.NodeID) float64 {
 	as := m.votes[key]
 	if len(as) == 0 {
 		return 0
@@ -176,7 +180,7 @@ type TrustWeightedAggregator struct {
 	Theta float64
 
 	weights map[string]float64
-	answers map[string][]answer
+	answers map[assign.NodeID][]answer
 }
 
 // NewTrustWeightedAggregator builds a trust-weighted mean aggregator.
@@ -184,7 +188,7 @@ func NewTrustWeightedAggregator(k int, theta float64) *TrustWeightedAggregator {
 	return &TrustWeightedAggregator{
 		K: k, Theta: theta,
 		weights: make(map[string]float64),
-		answers: make(map[string][]answer),
+		answers: make(map[assign.NodeID][]answer),
 	}
 }
 
@@ -201,7 +205,7 @@ func (t *TrustWeightedAggregator) trust(memberID string) float64 {
 }
 
 // Add implements Aggregator.
-func (t *TrustWeightedAggregator) Add(key, memberID string, support float64) {
+func (t *TrustWeightedAggregator) Add(key assign.NodeID, memberID string, support float64) {
 	for i, a := range t.answers[key] {
 		if a.member == memberID {
 			t.answers[key][i].support = support
@@ -212,7 +216,7 @@ func (t *TrustWeightedAggregator) Add(key, memberID string, support float64) {
 }
 
 // Decide implements Aggregator.
-func (t *TrustWeightedAggregator) Decide(key string) Decision {
+func (t *TrustWeightedAggregator) Decide(key assign.NodeID) Decision {
 	as := t.answers[key]
 	n := 0
 	for _, a := range as {
@@ -230,7 +234,7 @@ func (t *TrustWeightedAggregator) Decide(key string) Decision {
 }
 
 // Answers implements Aggregator (only trusted answers count).
-func (t *TrustWeightedAggregator) Answers(key string) int {
+func (t *TrustWeightedAggregator) Answers(key assign.NodeID) int {
 	n := 0
 	for _, a := range t.answers[key] {
 		if t.trust(a.member) > 0 {
@@ -241,7 +245,7 @@ func (t *TrustWeightedAggregator) Answers(key string) int {
 }
 
 // Support implements Aggregator.
-func (t *TrustWeightedAggregator) Support(key string) float64 {
+func (t *TrustWeightedAggregator) Support(key assign.NodeID) float64 {
 	var sum, wsum float64
 	for _, a := range t.answers[key] {
 		w := t.trust(a.member)

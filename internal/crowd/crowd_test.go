@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"oassis/internal/assign"
 	"oassis/internal/crowd"
 	"oassis/internal/ontology"
 	"oassis/internal/paperdata"
@@ -114,7 +115,7 @@ func TestSimMemberPruneRatioZero(t *testing.T) {
 
 func TestMeanAggregator(t *testing.T) {
 	a := crowd.NewMeanAggregator(3, 0.4)
-	key := "k"
+	key, other := assign.NodeID(0), assign.NodeID(1)
 	a.Add(key, "u1", 0.5)
 	a.Add(key, "u2", 0.25)
 	if a.Decide(key) != crowd.Undecided {
@@ -128,63 +129,66 @@ func TestMeanAggregator(t *testing.T) {
 		t.Errorf("Answers = %d", a.Answers(key))
 	}
 	// A different assignment stays independent.
-	a.Add("other", "u1", 0)
-	a.Add("other", "u2", 0)
-	a.Add("other", "u3", 0.25)
-	if a.Decide("other") != crowd.OverallInsignificant {
+	a.Add(other, "u1", 0)
+	a.Add(other, "u2", 0)
+	a.Add(other, "u3", 0.25)
+	if a.Decide(other) != crowd.OverallInsignificant {
 		t.Error("low mean should be insignificant")
 	}
 }
 
 func TestMeanAggregatorReplacesDuplicateMember(t *testing.T) {
 	a := crowd.NewMeanAggregator(2, 0.4)
-	a.Add("k", "u1", 0)
-	a.Add("k", "u1", 1) // replaces, does not add
-	if a.Answers("k") != 1 {
-		t.Fatalf("Answers = %d, want 1", a.Answers("k"))
+	k := assign.NodeID(7)
+	a.Add(k, "u1", 0)
+	a.Add(k, "u1", 1) // replaces, does not add
+	if a.Answers(k) != 1 {
+		t.Fatalf("Answers = %d, want 1", a.Answers(k))
 	}
-	if a.Support("k") != 1 {
-		t.Fatalf("Support = %v, want 1", a.Support("k"))
+	if a.Support(k) != 1 {
+		t.Fatalf("Support = %v, want 1", a.Support(k))
 	}
 }
 
 func TestMajorityAggregator(t *testing.T) {
 	a := crowd.NewMajorityAggregator(3, 0.5)
-	a.Add("k", "u1", 0.75) // yes
-	a.Add("k", "u2", 0.25) // no
-	if a.Decide("k") != crowd.Undecided {
+	k, k2 := assign.NodeID(0), assign.NodeID(1)
+	a.Add(k, "u1", 0.75) // yes
+	a.Add(k, "u2", 0.25) // no
+	if a.Decide(k) != crowd.Undecided {
 		t.Fatal("undecided with 2 of 3")
 	}
-	a.Add("k", "u3", 0.5) // yes
-	if a.Decide("k") != crowd.OverallSignificant {
+	a.Add(k, "u3", 0.5) // yes
+	if a.Decide(k) != crowd.OverallSignificant {
 		t.Fatal("2 of 3 yes should be significant")
 	}
-	a.Add("t", "u1", 0.25)
-	a.Add("t", "u2", 0.75)
-	a.Add("t", "u3", 0.25)
-	if a.Decide("t") != crowd.OverallInsignificant {
+	a.Add(k2, "u1", 0.25)
+	a.Add(k2, "u2", 0.75)
+	a.Add(k2, "u3", 0.25)
+	if a.Decide(k2) != crowd.OverallInsignificant {
 		t.Fatal("1 of 3 yes should be insignificant")
 	}
 }
 
 func TestTrustWeightedAggregator(t *testing.T) {
 	a := crowd.NewTrustWeightedAggregator(2, 0.4)
-	a.Add("k", "honest", 0.5)
-	a.Add("k", "spammer", 1.0)
-	if a.Decide("k") != crowd.OverallSignificant {
+	k := assign.NodeID(0)
+	a.Add(k, "honest", 0.5)
+	a.Add(k, "spammer", 1.0)
+	if a.Decide(k) != crowd.OverallSignificant {
 		t.Fatal("unweighted mean 0.75 should be significant")
 	}
 	// Distrust the spammer entirely: only one trusted answer remains.
 	a.SetTrust("spammer", 0)
-	if a.Decide("k") != crowd.Undecided {
+	if a.Decide(k) != crowd.Undecided {
 		t.Fatalf("with the spammer at weight 0 only 1 trusted answer remains, got %v",
-			a.Decide("k"))
+			a.Decide(k))
 	}
-	a.Add("k", "honest2", 0.25)
-	if got := a.Support("k"); math.Abs(got-0.375) > 1e-12 {
+	a.Add(k, "honest2", 0.25)
+	if got := a.Support(k); math.Abs(got-0.375) > 1e-12 {
 		t.Fatalf("trust-weighted support = %v, want 0.375", got)
 	}
-	if a.Decide("k") != crowd.OverallInsignificant {
+	if a.Decide(k) != crowd.OverallInsignificant {
 		t.Fatal("trusted mean 0.375 < 0.4 should be insignificant")
 	}
 }

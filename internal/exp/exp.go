@@ -50,6 +50,12 @@ const aggK = 5
 // CrowdStats reproduces Figures 4a–4c for one domain config: the query runs
 // once per threshold, ascending, with a shared CrowdCache so later runs
 // replay earlier answers (Section 6.3's methodology).
+//
+// The assignment Space is built ONCE and shared by every threshold run:
+// each core.NewEngine below gets a fresh classifier and aggregator (the
+// verdicts depend on theta) but reuses d.Space's interner and edge cache,
+// so successor/predecessor lists computed while mining at theta_1 are free
+// for every later threshold — the replay counterpart of the answer cache.
 func CrowdStats(cfg synth.DomainConfig, thetas []float64, seed int64) (*CrowdStatsResult, error) {
 	d, err := synth.NewDomain(cfg)
 	if err != nil {

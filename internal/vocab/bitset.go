@@ -1,5 +1,7 @@
 package vocab
 
+import "math/bits"
+
 // bitset is a fixed-capacity bit vector used for ancestor closures.
 type bitset []uint64
 
@@ -26,16 +28,7 @@ func (b bitset) or(other bitset) {
 func (b bitset) count() int {
 	n := 0
 	for _, w := range b {
-		n += popcount(w)
-	}
-	return n
-}
-
-func popcount(w uint64) int {
-	n := 0
-	for w != 0 {
-		w &= w - 1
-		n++
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
