@@ -2,9 +2,11 @@ package assign
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"oassis/internal/oassisql"
 	"oassis/internal/ontology"
@@ -95,6 +97,148 @@ func NewSpace(q *oassisql.Query, bindings []sparql.Binding, morePool ontology.Fa
 	s.computeUpperBounds()
 	s.project(bindings)
 	return s, nil
+}
+
+// NewSpaceFromRows builds the assignment space directly from a compiled
+// plan's row-oriented results (sparql.Plan.Eval), skipping the map-based
+// Binding form entirely. Candidate assignments are built on parallel workers
+// and then interned serially in row order, so NodeID assignment and Valid()
+// ordering are byte-identical to the serial NewSpace path.
+func NewSpaceFromRows(q *oassisql.Query, res *sparql.Results, morePool ontology.FactSet) (*Space, error) {
+	v := q.Vocabulary()
+	s := &Space{
+		v:          v,
+		query:      q,
+		kinds:      make(map[string]vocab.Kind),
+		validVals:  make(map[string][]vocab.TermID),
+		ub:         make(map[string][]vocab.TermID),
+		in:         newInterner(),
+		coverCache: make(map[string]bool),
+	}
+	whereKinds, err := sparql.VarKinds(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, sv := range q.SatVars() {
+		_, bound := whereKinds[sv.Name]
+		s.vars = append(s.vars, VarSpec{Name: sv.Name, Kind: sv.Kind, Mult: sv.Mult, Bound: bound})
+		s.kinds[sv.Name] = sv.Kind
+	}
+	if q.Satisfying.More {
+		s.morePool = canonicalMore(v, morePool)
+	}
+	s.computeUpperBounds()
+	s.projectRows(res)
+	return s, nil
+}
+
+// projectParallelThreshold is the row count below which sharding the
+// candidate build across workers costs more than it saves.
+const projectParallelThreshold = 256
+
+// projectRows is the row-oriented twin of project: it projects the plan's
+// result rows onto the bound mining variables. The expansion into candidate
+// assignments (hash keys included) is sharded across workers; the interning
+// merge then runs serially in row order, which keeps NodeIDs and the final
+// Valid() order identical to the serial path.
+func (s *Space) projectRows(res *sparql.Results) {
+	// Projection schema: the bound mining variables, sorted by name (the
+	// canonical Assignment layout), each mapped to its result column.
+	type col struct {
+		name string
+		kind vocab.Kind
+		idx  int
+	}
+	slot := map[string]int{}
+	for i, pv := range res.Vars() {
+		slot[pv.Name] = i
+	}
+	var cols []col
+	for _, vs := range s.vars {
+		if !vs.Bound {
+			continue
+		}
+		if i, ok := slot[vs.Name]; ok {
+			cols = append(cols, col{name: vs.Name, kind: s.kinds[vs.Name], idx: i})
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+	projNames := make([]string, len(cols))
+	projKinds := make([]vocab.Kind, len(cols))
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		projNames[i], projKinds[i], colIdx[i] = c.name, c.kind, c.idx
+	}
+
+	rows := res.Rows()
+	candidates := make([]*Assignment, len(rows))
+	build := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			// Singleton value sets are trivially canonical, and the
+			// name/kind slices are immutable, so candidates can share
+			// them — one small backing array per row is the only
+			// allocation that scales with the result set.
+			a := &Assignment{names: projNames, kinds: projKinds, id: noID}
+			backing := make([]vocab.TermID, len(cols))
+			a.vals = make([][]vocab.TermID, len(cols))
+			for i, c := range colIdx {
+				backing[i] = rows[r][c]
+				a.vals[i] = backing[i : i+1 : i+1]
+			}
+			a.Key() // warm the key cache while we are on a worker
+			candidates[r] = a
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if len(rows) < projectParallelThreshold || workers < 2 {
+		build(0, len(rows))
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(rows) + workers - 1) / workers
+		for lo := 0; lo < len(rows); lo += chunk {
+			hi := lo + chunk
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				build(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: intern in row order, exactly as project does.
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	seenVals := make(map[string]map[vocab.TermID]bool, len(cols))
+	for _, n := range projNames {
+		seenVals[n] = map[vocab.TermID]bool{}
+	}
+	for _, cand := range candidates {
+		a, fresh := s.in.intern(cand)
+		s.in.grow()
+		if !fresh {
+			continue
+		}
+		s.valid = append(s.valid, a)
+		for i, n := range projNames {
+			id := a.vals[i][0]
+			if !seenVals[n][id] {
+				seenVals[n][id] = true
+				s.validVals[n] = append(s.validVals[n], id)
+			}
+		}
+	}
+	sort.Slice(s.valid, func(i, j int) bool { return s.valid[i].Key() < s.valid[j].Key() })
+	for name := range s.validVals {
+		ids := s.validVals[name]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
 }
 
 // Vocabulary returns the space's vocabulary.

@@ -1,0 +1,92 @@
+package assign_test
+
+// Determinism and race tests for the sharded space construction: the
+// parallel row-projection path must produce byte-identical Valid() ordering
+// (and identical NodeIDs) to the serial map-based path, including when many
+// spaces are built concurrently. Run with -race.
+
+import (
+	"sync"
+	"testing"
+
+	"oassis/internal/assign"
+	"oassis/internal/sparql"
+	"oassis/internal/synth"
+)
+
+// dagFixture returns a DAG workload large enough to cross the parallel
+// projection threshold, plus its evaluated WHERE rows.
+func dagFixture(t testing.TB) (*synth.DAG, *sparql.Results) {
+	d, err := synth.NewDAG(synth.DAGConfig{Width: 100, Depth: 5, MSPPercent: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sparql.NewEvaluator(d.Store).Compile(d.Query.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, plan.Eval()
+}
+
+// TestParallelSpaceMatchesSerial pins the parallel NewSpaceFromRows result
+// against the serial NewSpace path on the same rows.
+func TestParallelSpaceMatchesSerial(t *testing.T) {
+	d, res := dagFixture(t)
+	serial, err := assign.NewSpace(d.Query, res.Bindings(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := assign.NewSpaceFromRows(d.Query, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, pv := serial.Valid(), parallel.Valid()
+	if len(sv) != len(pv) {
+		t.Fatalf("valid count: serial %d, parallel %d", len(sv), len(pv))
+	}
+	if len(sv) < 2 {
+		t.Fatalf("fixture too small to be meaningful: %d valid assignments", len(sv))
+	}
+	for i := range sv {
+		if sv[i].Key() != pv[i].Key() {
+			t.Fatalf("Valid()[%d]: serial %q, parallel %q", i, sv[i].Key(), pv[i].Key())
+		}
+		if sv[i].ID() != pv[i].ID() {
+			t.Fatalf("Valid()[%d] NodeID: serial %d, parallel %d", i, sv[i].ID(), pv[i].ID())
+		}
+	}
+}
+
+// TestConcurrentSpaceConstruction builds many spaces from the same results
+// at once; every one must come out identical.
+func TestConcurrentSpaceConstruction(t *testing.T) {
+	d, res := dagFixture(t)
+	ref, err := assign.NewSpaceFromRows(d.Query, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp, err := assign.NewSpaceFromRows(d.Query, res, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, want := sp.Valid(), ref.Valid()
+			if len(got) != len(want) {
+				t.Errorf("valid count %d, want %d", len(got), len(want))
+				return
+			}
+			for i := range got {
+				if got[i].Key() != want[i].Key() || got[i].ID() != want[i].ID() {
+					t.Errorf("Valid()[%d] diverged under concurrency", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,263 @@
+package ontology
+
+import (
+	"sort"
+
+	"oassis/internal/vocab"
+)
+
+// This file implements the per-predicate transitive-closure indexes behind
+// zero-or-more property paths (`subClassOf*`) and the reachability checks of
+// the WHERE stage. The paper's prototype (like the seed evaluator here)
+// recomputed a BFS closure on every pattern match; a frozen store instead
+// memoizes, per predicate, the full forward/backward reachability relation
+// once and answers every later query with a slice lookup. The memo is built
+// lazily — a store pays for a predicate's closure only if some query walks a
+// path over it — and is concurrency-safe, so evaluators running on different
+// goroutines share one computation.
+
+// Edge is one (subject, object) pair of a predicate's zero-or-more-step
+// reachability relation: O is reachable from S by following pred edges.
+type Edge struct{ S, O vocab.TermID }
+
+// pathClosure is the reachability index of a single predicate.
+type pathClosure struct {
+	// fwd[s] lists everything reachable from s (including s itself),
+	// sorted by ID. Nodes without an outgoing pred edge are absent: their
+	// closure is exactly {self}.
+	fwd map[vocab.TermID][]vocab.TermID
+	// bwd[o] lists everything that reaches o (including o itself), sorted.
+	bwd map[vocab.TermID][]vocab.TermID
+	// pairs is the full relation over mentioned nodes: every (s, t) with t
+	// in fwd(s), plus the zero-length (o, o) pairs of pure objects. Sorted
+	// by (S, O) and duplicate-free.
+	pairs []Edge
+	// nodes counts the distinct terms mentioned by the predicate's facts.
+	nodes int
+}
+
+// closureOf returns the memoized closure index for pred, building it on
+// first use. Callers must only invoke it on a frozen store (the fact-set is
+// immutable from then on, so the memo can never go stale).
+func (s *Store) closureOf(pred vocab.TermID) *pathClosure {
+	s.closeMu.RLock()
+	c := s.closures[pred]
+	s.closeMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if c = s.closures[pred]; c != nil {
+		return c
+	}
+	c = s.buildClosure(pred)
+	s.closures[pred] = c
+	return c
+}
+
+// buildClosure computes the reachability index of one predicate from its
+// stored facts. Cycles are tolerated (the walk is a seen-set BFS).
+func (s *Store) buildClosure(pred vocab.TermID) *pathClosure {
+	adj := make(map[vocab.TermID][]vocab.TermID)
+	radj := make(map[vocab.TermID][]vocab.TermID)
+	for _, f := range s.byP[pred] {
+		adj[f.S] = append(adj[f.S], f.O)
+		radj[f.O] = append(radj[f.O], f.S)
+	}
+	c := &pathClosure{
+		fwd: make(map[vocab.TermID][]vocab.TermID, len(adj)),
+		bwd: make(map[vocab.TermID][]vocab.TermID, len(radj)),
+	}
+	for subj := range adj {
+		c.fwd[subj] = reachSet(adj, subj)
+	}
+	for obj := range radj {
+		c.bwd[obj] = reachSet(radj, obj)
+	}
+	for subj, l := range c.fwd {
+		for _, t := range l {
+			c.pairs = append(c.pairs, Edge{S: subj, O: t})
+		}
+	}
+	c.nodes = len(adj)
+	for obj := range radj {
+		if _, isSubj := adj[obj]; !isSubj {
+			c.pairs = append(c.pairs, Edge{S: obj, O: obj})
+			c.nodes++
+		}
+	}
+	sort.Slice(c.pairs, func(i, j int) bool {
+		if c.pairs[i].S != c.pairs[j].S {
+			return c.pairs[i].S < c.pairs[j].S
+		}
+		return c.pairs[i].O < c.pairs[j].O
+	})
+	return c
+}
+
+// reachSet returns start plus everything reachable from it over adj, sorted.
+func reachSet(adj map[vocab.TermID][]vocab.TermID, start vocab.TermID) []vocab.TermID {
+	seen := map[vocab.TermID]bool{start: true}
+	stack := []vocab.TermID{start}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[x] {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	out := make([]vocab.TermID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForwardClosure returns subj plus everything reachable from it by zero or
+// more pred edges, sorted by ID — or nil when subj has no outgoing pred edge
+// (the closure is then exactly {subj}). On a frozen store the result is a
+// shared index slice; callers must not modify it.
+func (s *Store) ForwardClosure(subj, pred vocab.TermID) []vocab.TermID {
+	if s.frozen {
+		return s.closureOf(pred).fwd[subj]
+	}
+	if len(s.bySP[spKey{subj, pred}]) == 0 {
+		return nil
+	}
+	return bfsClosure(subj, func(x vocab.TermID) []vocab.TermID {
+		return s.bySP[spKey{x, pred}]
+	})
+}
+
+// BackwardClosure returns obj plus everything that reaches it by zero or
+// more pred edges, sorted by ID — or nil when obj has no incoming pred edge.
+// On a frozen store the result is a shared index slice; do not modify.
+func (s *Store) BackwardClosure(obj, pred vocab.TermID) []vocab.TermID {
+	if s.frozen {
+		return s.closureOf(pred).bwd[obj]
+	}
+	if len(s.byPO[spKey{pred, obj}]) == 0 {
+		return nil
+	}
+	return bfsClosure(obj, func(x vocab.TermID) []vocab.TermID {
+		return s.byPO[spKey{pred, x}]
+	})
+}
+
+func bfsClosure(start vocab.TermID, next func(vocab.TermID) []vocab.TermID) []vocab.TermID {
+	seen := map[vocab.TermID]bool{start: true}
+	stack := []vocab.TermID{start}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range next(x) {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	out := make([]vocab.TermID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reaches reports a path of zero or more pred edges from subj to obj. When
+// the predicate's closure index is already built this is a binary search;
+// otherwise it runs an early-exit BFS that stops the moment obj is found,
+// without materializing (or memoizing) the full closure.
+func (s *Store) Reaches(subj, pred, obj vocab.TermID) bool {
+	if subj == obj {
+		return true // zero-length path
+	}
+	if s.frozen {
+		s.closeMu.RLock()
+		c := s.closures[pred]
+		s.closeMu.RUnlock()
+		if c != nil {
+			l := c.fwd[subj]
+			i := sort.Search(len(l), func(i int) bool { return l[i] >= obj })
+			return i < len(l) && l[i] == obj
+		}
+	}
+	// Early-exit BFS: no sort, no closure materialization.
+	seen := map[vocab.TermID]bool{subj: true}
+	stack := []vocab.TermID{subj}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range s.bySP[spKey{x, pred}] {
+			if n == obj {
+				return true
+			}
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return false
+}
+
+// ClosurePairs returns every (s, o) pair with o reachable from s by zero or
+// more pred edges, over the nodes the predicate's facts mention: pure
+// objects contribute their zero-length pair, subjects their full forward
+// closure. Sorted by (S, O), duplicate-free. On a frozen store the result is
+// a shared index slice; do not modify.
+func (s *Store) ClosurePairs(pred vocab.TermID) []Edge {
+	if s.frozen {
+		return s.closureOf(pred).pairs
+	}
+	// Unfrozen fallback: build a throwaway index.
+	return s.buildClosure(pred).pairs
+}
+
+// StarStats returns the size of the predicate's reachability relation and
+// the number of nodes its facts mention — the selectivity statistics the
+// query planner uses to order `p*` patterns.
+func (s *Store) StarStats(pred vocab.TermID) (pairs, nodes int) {
+	if !s.frozen {
+		c := s.buildClosure(pred)
+		return len(c.pairs), c.nodes
+	}
+	c := s.closureOf(pred)
+	return len(c.pairs), c.nodes
+}
+
+// PredStats returns the fact count and the number of distinct subjects and
+// objects stored under a predicate — the planner's estimates for half-bound
+// triple patterns. Memoized on frozen stores.
+func (s *Store) PredStats(pred vocab.TermID) (facts, subjects, objects int) {
+	if s.frozen {
+		s.closeMu.RLock()
+		st, ok := s.predStats[pred]
+		s.closeMu.RUnlock()
+		if ok {
+			return st.facts, st.subjects, st.objects
+		}
+	}
+	subj := make(map[vocab.TermID]struct{})
+	obj := make(map[vocab.TermID]struct{})
+	fs := s.byP[pred]
+	for _, f := range fs {
+		subj[f.S] = struct{}{}
+		obj[f.O] = struct{}{}
+	}
+	facts, subjects, objects = len(fs), len(subj), len(obj)
+	if s.frozen {
+		s.closeMu.Lock()
+		s.predStats[pred] = predStat{facts: facts, subjects: subjects, objects: objects}
+		s.closeMu.Unlock()
+	}
+	return facts, subjects, objects
+}
+
+type predStat struct{ facts, subjects, objects int }

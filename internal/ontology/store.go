@@ -3,6 +3,7 @@ package ontology
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"oassis/internal/vocab"
 )
@@ -25,6 +26,17 @@ type Store struct {
 	labels map[vocab.TermID]map[string]bool // element -> label set
 
 	frozen bool
+
+	// Frozen-store memos. predList and labelIdx are built once at Freeze;
+	// the per-predicate closure indexes and stats are built lazily, on
+	// first use, under closeMu (see closure.go) so concurrent evaluators
+	// share one computation.
+	predList []vocab.TermID
+	labelIdx map[string][]vocab.TermID
+
+	closeMu   sync.RWMutex
+	closures  map[vocab.TermID]*pathClosure
+	predStats map[vocab.TermID]predStat
 }
 
 type spKey struct{ a, b vocab.TermID }
@@ -32,12 +44,14 @@ type spKey struct{ a, b vocab.TermID }
 // NewStore returns an empty ontology over the given vocabulary.
 func NewStore(v *vocab.Vocabulary) *Store {
 	return &Store{
-		v:      v,
-		facts:  make(map[Fact]struct{}),
-		bySP:   make(map[spKey][]vocab.TermID),
-		byPO:   make(map[spKey][]vocab.TermID),
-		byP:    make(map[vocab.TermID][]Fact),
-		labels: make(map[vocab.TermID]map[string]bool),
+		v:         v,
+		facts:     make(map[Fact]struct{}),
+		bySP:      make(map[spKey][]vocab.TermID),
+		byPO:      make(map[spKey][]vocab.TermID),
+		byP:       make(map[vocab.TermID][]Fact),
+		labels:    make(map[vocab.TermID]map[string]bool),
+		closures:  make(map[vocab.TermID]*pathClosure),
+		predStats: make(map[vocab.TermID]predStat),
 	}
 }
 
@@ -86,7 +100,11 @@ func (s *Store) HasLabel(e vocab.TermID, label string) bool {
 }
 
 // LabeledElements returns all elements carrying the label, sorted by ID.
+// On a frozen store the result is a shared index slice; do not modify it.
 func (s *Store) LabeledElements(label string) []vocab.TermID {
+	if s.frozen {
+		return s.labelIdx[label]
+	}
 	var out []vocab.TermID
 	for e, m := range s.labels {
 		if m[label] {
@@ -114,6 +132,21 @@ func (s *Store) Freeze() {
 		fs := s.byP[p]
 		sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
 	}
+	s.predList = make([]vocab.TermID, 0, len(s.byP))
+	for p := range s.byP {
+		s.predList = append(s.predList, p)
+	}
+	sort.Slice(s.predList, func(i, j int) bool { return s.predList[i] < s.predList[j] })
+	s.labelIdx = make(map[string][]vocab.TermID)
+	for e, m := range s.labels {
+		for label := range m {
+			s.labelIdx[label] = append(s.labelIdx[label], e)
+		}
+	}
+	for label := range s.labelIdx {
+		ids := s.labelIdx[label]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
 	s.frozen = true
 }
 
@@ -133,11 +166,11 @@ func (s *Store) ImpliesFact(f Fact) bool {
 		return true
 	}
 	// Any stored fact with predicate p' ≥ f.P may witness the implication.
-	for p, facts := range s.byP {
+	for _, p := range s.Predicates() {
 		if !s.v.LeqR(f.P, p) {
 			continue
 		}
-		for _, g := range facts {
+		for _, g := range s.byP[p] {
 			if s.v.LeqE(f.S, g.S) && s.v.LeqE(f.O, g.O) {
 				return true
 			}
@@ -162,8 +195,12 @@ func (s *Store) Subjects(pred, obj vocab.TermID) []vocab.TermID {
 func (s *Store) FactsWithPredicate(p vocab.TermID) []Fact { return s.byP[p] }
 
 // Predicates returns the relations that appear in at least one stored fact,
-// sorted by ID.
+// sorted by ID. On a frozen store the result is a shared index slice; do not
+// modify it.
 func (s *Store) Predicates() []vocab.TermID {
+	if s.frozen {
+		return s.predList
+	}
 	out := make([]vocab.TermID, 0, len(s.byP))
 	for p := range s.byP {
 		out = append(out, p)

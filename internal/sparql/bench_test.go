@@ -1,0 +1,62 @@
+package sparql_test
+
+import (
+	"testing"
+
+	"oassis/internal/paperdata"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+func benchBGP(v *vocab.Vocabulary) sparql.BGP {
+	rel := func(name string) vocab.TermID { return v.Relation(name) }
+	el := func(name string) vocab.TermID { return v.Element(name) }
+	return sparql.BGP{
+		{S: sparql.VarTerm("w"), P: sparql.ConstTerm(rel("subClassOf")), O: sparql.ConstTerm(el("Attraction")), Star: true},
+		{S: sparql.VarTerm("x"), P: sparql.ConstTerm(rel("instanceOf")), O: sparql.VarTerm("w")},
+		{S: sparql.VarTerm("x"), P: sparql.ConstTerm(rel("inside")), O: sparql.ConstTerm(el("NYC"))},
+		{S: sparql.VarTerm("x"), P: sparql.ConstTerm(rel("hasLabel")), O: sparql.LiteralTerm("child-friendly")},
+		{S: sparql.VarTerm("y"), P: sparql.ConstTerm(rel("subClassOf")), O: sparql.ConstTerm(el("Activity")), Star: true},
+		{S: sparql.VarTerm("z"), P: sparql.ConstTerm(rel("instanceOf")), O: sparql.ConstTerm(el("Restaurant"))},
+		{S: sparql.VarTerm("z"), P: sparql.ConstTerm(rel("nearBy")), O: sparql.VarTerm("x")},
+	}
+}
+
+// BenchmarkWhereEval compares the WHERE-stage implementations on the
+// Figure 2 query over the Figure 1 ontology: the compiled plan (as used by
+// Eval), a pre-compiled reused plan, and the seed interpreter.
+func BenchmarkWhereEval(b *testing.B) {
+	v, s := paperdata.Build()
+	bgp := benchBGP(v)
+	e := sparql.NewEvaluator(s)
+
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Eval(bgp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-reused", func(b *testing.B) {
+		pl, err := e.Compile(bgp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pl.Eval().Len() == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.EvalInterpreted(bgp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,7 @@
+package sparql
+
+// EvalInterpreted exposes the seed recursive matcher so differential tests
+// and BenchmarkWhereEval can pin the compiled plan against it.
+func (e *Evaluator) EvalInterpreted(bgp BGP) ([]Binding, error) {
+	return e.evalInterpreted(bgp)
+}

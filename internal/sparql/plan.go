@@ -1,0 +1,760 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oassis/internal/ontology"
+	"oassis/internal/vocab"
+)
+
+// This file implements compiled query plans for the WHERE stage. The seed
+// evaluator interpreted a BGP directly: map[string]TermID bindings cloned on
+// every bind, pattern choice re-scored at every recursion step, and closure
+// BFS re-run per pattern match. A Plan compiles all of that away once per
+// query:
+//
+//   - variables are mapped to dense slots, so a binding is a []vocab.TermID
+//     row mutated in place with backtracking undo — no maps, no clones;
+//   - the pattern order is fixed at compile time by index-aware selectivity
+//     estimates (candidate-set sizes read from the store's SP/PO/P indexes
+//     and closure statistics, not just constant counting);
+//   - each pattern is lowered to an operator that reads the right store
+//     index directly (Has / Objects / Subjects / FactsWithPredicate /
+//     ForwardClosure / BackwardClosure / ClosurePairs / LabeledElements).
+//
+// A compiled Plan is immutable and safe for concurrent Eval calls; each call
+// runs on its own scratch row. Results come back as rows in the same
+// deterministic order the interpreted evaluator produced (the legacy
+// string-key order), so the compiled pipeline is a drop-in replacement.
+
+// PlanVar describes one variable slot of a compiled plan. Slots are assigned
+// in sorted name order.
+type PlanVar struct {
+	Name string
+	Kind vocab.Kind
+}
+
+// freeVal marks an unbound slot in a scratch row. It is distinct from every
+// real TermID and from ontology.Any.
+const freeVal = vocab.TermID(-1 << 30)
+
+// planTerm is one lowered pattern position.
+type planTerm struct {
+	isConst bool
+	constID vocab.TermID
+	slot    int32 // variable slot, or -1 for wildcard/literal positions
+}
+
+func (pl *Plan) lowerTerm(t Term) planTerm {
+	switch t.Kind {
+	case Const:
+		return planTerm{isConst: true, constID: t.ID, slot: -1}
+	case Var:
+		return planTerm{slot: int32(pl.slotOf[t.Name])}
+	}
+	return planTerm{slot: -1} // wildcard / literal
+}
+
+type opKind uint8
+
+const (
+	opTriple    opKind = iota // exact triple match
+	opStar                    // zero-or-more property path
+	opLabel                   // string-literal object (hasLabel filter)
+	opSemTriple               // triple under Definition 2.5 implication
+)
+
+// op is one compiled operator of the plan.
+type op struct {
+	kind    opKind
+	s, p, o planTerm
+	lit     string // opLabel: the literal
+	src     int    // original pattern index in the BGP
+	est     int    // selectivity estimate at planning time (diagnostics)
+}
+
+// Plan is a compiled BGP: a fixed operator pipeline over dense variable
+// slots. Build one with Evaluator.Compile; run it with Eval. A Plan is
+// immutable and safe for concurrent use.
+type Plan struct {
+	store    *ontology.Store
+	v        *vocab.Vocabulary
+	semantic bool
+
+	vars   []PlanVar
+	slotOf map[string]int
+	ops    []op
+}
+
+// Compile validates the BGP and lowers it to a Plan. The evaluator's
+// Semantic mode is captured at compile time. The store's contents must be
+// final (normally: frozen) before compiling — selectivity estimates and the
+// closure indexes snapshot it.
+func (e *Evaluator) Compile(bgp BGP) (*Plan, error) {
+	if err := e.validate(bgp); err != nil {
+		return nil, err
+	}
+	kinds, err := VarKinds(bgp)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Plan{store: e.store, v: e.v, semantic: e.Semantic}
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	pl.slotOf = make(map[string]int, len(names))
+	for i, n := range names {
+		pl.slotOf[n] = i
+		pl.vars = append(pl.vars, PlanVar{Name: n, Kind: kinds[n]})
+	}
+
+	bound := make([]bool, len(pl.vars))
+	if reorderUnsafe(bgp, pl.semantic) {
+		// Some pattern's meaning depends on whether its variables are
+		// already bound when it runs (see reorderUnsafe). Reordering such a
+		// BGP could change the result set, so pin the interpreted
+		// evaluator's selection order exactly.
+		for _, pi := range interpretedOrder(bgp) {
+			pl.lower(bgp[pi], pi, pl.estimate(bgp[pi], bound))
+			pl.markBound(bgp[pi], bound)
+		}
+		return pl, nil
+	}
+	// Greedy selectivity ordering: repeatedly pick the cheapest pattern
+	// given the variables bound so far; ties break on BGP position.
+	remaining := make([]int, len(bgp))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		best, bestCost := 0, int(^uint(0)>>1)
+		for ri, pi := range remaining {
+			if c := pl.estimate(bgp[pi], bound); c < bestCost {
+				best, bestCost = ri, c
+			}
+		}
+		pi := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		pl.lower(bgp[pi], pi, bestCost)
+		pl.markBound(bgp[pi], bound)
+	}
+	return pl, nil
+}
+
+func (pl *Plan) markBound(p Pattern, bound []bool) {
+	for _, t := range []Term{p.S, p.P, p.O} {
+		if t.Kind == Var {
+			bound[pl.slotOf[t.Name]] = true
+		}
+	}
+}
+
+// reorderUnsafe reports whether evaluating the BGP's patterns in a different
+// order could change the result set. Two constructs behave differently
+// depending on whether their variables are bound when they run:
+//
+//   - a star pattern with no constant endpoint: evaluated with both ends
+//     free it only ranges over nodes the predicate's facts mention, while a
+//     pre-bound endpoint matches itself via the zero-length path whether
+//     mentioned or not;
+//   - a semantic-mode triple with an element variable: free it also binds
+//     generalizations of the stored value, pre-bound it requires exact
+//     equality with it.
+//
+// Those patterns are only hazardous when one of their variables also occurs
+// in another pattern — otherwise no other pattern can pre-bind it. Exact
+// triples, label filters, const-anchored stars and predicate variables are
+// join-order-independent.
+func reorderUnsafe(bgp BGP, semantic bool) bool {
+	occ := map[string]int{} // number of patterns each variable occurs in
+	for _, p := range bgp {
+		seen := map[string]bool{}
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.Kind == Var && !seen[t.Name] {
+				seen[t.Name] = true
+				occ[t.Name]++
+			}
+		}
+	}
+	shared := func(t Term) bool { return t.Kind == Var && occ[t.Name] > 1 }
+	for _, p := range bgp {
+		if p.Star && p.S.Kind != Const && p.O.Kind != Const &&
+			(shared(p.S) || shared(p.O)) {
+			return true
+		}
+		if semantic && !p.Star && p.O.Kind != Literal &&
+			(shared(p.S) || shared(p.O)) {
+			return true
+		}
+	}
+	return false
+}
+
+// interpretedOrder replays the seed evaluator's pattern selection — the
+// static most-constants-first stable sort followed by the dynamic
+// most-bound-positions-first pick — and returns the pattern indices in that
+// order.
+func interpretedOrder(bgp BGP) []int {
+	static := func(p Pattern) int {
+		s := 0
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.Kind == Const || t.Kind == Literal {
+				s++
+			}
+		}
+		return s
+	}
+	idx := make([]int, len(bgp))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return static(bgp[idx[i]]) > static(bgp[idx[j]]) })
+	bound := map[string]bool{}
+	order := make([]int, 0, len(idx))
+	for len(idx) > 0 {
+		best, bestScore := 0, -1
+		for i, pi := range idx {
+			s := 0
+			for _, t := range []Term{bgp[pi].S, bgp[pi].P, bgp[pi].O} {
+				switch t.Kind {
+				case Const, Literal:
+					s += 2
+				case Var:
+					if bound[t.Name] {
+						s += 2
+					}
+				}
+			}
+			if s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		pi := idx[best]
+		idx = append(idx[:best], idx[best+1:]...)
+		order = append(order, pi)
+		for _, t := range []Term{bgp[pi].S, bgp[pi].P, bgp[pi].O} {
+			if t.Kind == Var {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return order
+}
+
+// resolvedAt reports whether a term has a concrete value at planning time,
+// given the set of already-bound slots.
+func (pl *Plan) resolvedAt(t Term, bound []bool) bool {
+	switch t.Kind {
+	case Const:
+		return true
+	case Var:
+		return bound[pl.slotOf[t.Name]]
+	}
+	return false
+}
+
+// estimate predicts the candidate-set size of one pattern under the current
+// bound-variable set, reading cardinalities from the store's indexes.
+func (pl *Plan) estimate(p Pattern, bound []bool) int {
+	st := pl.store
+	sRes := pl.resolvedAt(p.S, bound)
+	oRes := pl.resolvedAt(p.O, bound)
+	if p.O.Kind == Literal {
+		if sRes {
+			return 1
+		}
+		return atLeast1(len(st.LabeledElements(p.O.Lit)))
+	}
+	if p.Star {
+		pairs, nodes := st.StarStats(p.P.ID)
+		switch {
+		case sRes && oRes:
+			return 1
+		case p.S.Kind == Const:
+			return atLeast1(len(st.ForwardClosure(p.S.ID, p.P.ID)))
+		case p.O.Kind == Const:
+			return atLeast1(len(st.BackwardClosure(p.O.ID, p.P.ID)))
+		case sRes || oRes:
+			return atLeast1(pairs / atLeast1(nodes))
+		default:
+			return atLeast1(pairs)
+		}
+	}
+	switch p.P.Kind {
+	case Const:
+		facts, subjects, objects := st.PredStats(p.P.ID)
+		switch {
+		case sRes && oRes:
+			return 1
+		case p.S.Kind == Const:
+			return atLeast1(len(st.Objects(p.S.ID, p.P.ID)))
+		case sRes:
+			return atLeast1(facts / atLeast1(subjects))
+		case p.O.Kind == Const:
+			return atLeast1(len(st.Subjects(p.P.ID, p.O.ID)))
+		case oRes:
+			return atLeast1(facts / atLeast1(objects))
+		default:
+			return atLeast1(facts)
+		}
+	case Var:
+		// Predicate variable: bound → one predicate's facts on average;
+		// free → a scan over every predicate.
+		nPreds := atLeast1(len(st.Predicates()))
+		if pl.resolvedAt(p.P, bound) {
+			if sRes && oRes {
+				return 1
+			}
+			return atLeast1(st.Size() / nPreds)
+		}
+		if sRes && oRes {
+			return nPreds
+		}
+		return atLeast1(st.Size()) + nPreds
+	}
+	return atLeast1(st.Size())
+}
+
+func atLeast1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// lower appends the operator for one pattern.
+func (pl *Plan) lower(p Pattern, src, est int) {
+	o := op{
+		s:   pl.lowerTerm(p.S),
+		p:   pl.lowerTerm(p.P),
+		o:   pl.lowerTerm(p.O),
+		src: src,
+		est: est,
+	}
+	switch {
+	case p.O.Kind == Literal:
+		o.kind = opLabel
+		o.lit = p.O.Lit
+	case p.Star:
+		o.kind = opStar
+	case pl.semantic:
+		o.kind = opSemTriple
+	default:
+		o.kind = opTriple
+	}
+	pl.ops = append(pl.ops, o)
+}
+
+// Vars returns the plan's variable slots in slot order (sorted by name).
+// The slice is shared; do not modify.
+func (pl *Plan) Vars() []PlanVar { return pl.vars }
+
+// PatternOrder returns, per operator, the index of the BGP pattern it was
+// lowered from — the selectivity order the planner chose.
+func (pl *Plan) PatternOrder() []int {
+	out := make([]int, len(pl.ops))
+	for i, o := range pl.ops {
+		out[i] = o.src
+	}
+	return out
+}
+
+// Describe renders the plan for diagnostics: one line per operator in
+// execution order, with its selectivity estimate.
+func (pl *Plan) Describe() string {
+	var sb strings.Builder
+	kinds := [...]string{"triple", "star", "label", "sem-triple"}
+	for i, o := range pl.ops {
+		fmt.Fprintf(&sb, "%d: %s pattern#%d est=%d\n", i, kinds[o.kind], o.src, o.est)
+	}
+	return sb.String()
+}
+
+// exec is the per-Eval scratch state: one reusable row plus the result
+// arena. Rows are copied out of the scratch row only on emit.
+type exec struct {
+	pl    *Plan
+	row   []vocab.TermID
+	arena []vocab.TermID
+	rows  [][]vocab.TermID
+}
+
+// Eval runs the plan and returns every solution as a row of the plan's
+// variable slots, deterministically ordered and deduplicated (the same
+// order Evaluator.Eval has always produced).
+func (pl *Plan) Eval() *Results {
+	ex := &exec{pl: pl, row: make([]vocab.TermID, len(pl.vars))}
+	for i := range ex.row {
+		ex.row[i] = freeVal
+	}
+	pl.step(ex, 0)
+	rows := ex.rows
+	sort.Slice(rows, func(i, j int) bool { return cmpRows(rows[i], rows[j]) < 0 })
+	dedup := rows[:0]
+	for i, r := range rows {
+		if i == 0 || cmpRows(rows[i-1], r) != 0 {
+			dedup = append(dedup, r)
+		}
+	}
+	return &Results{vars: pl.vars, rows: dedup}
+}
+
+func (ex *exec) emit() {
+	n := len(ex.row)
+	if n == 0 {
+		ex.rows = append(ex.rows, nil)
+		return
+	}
+	if cap(ex.arena)-len(ex.arena) < n {
+		ex.arena = make([]vocab.TermID, 0, 256*n)
+	}
+	off := len(ex.arena)
+	ex.arena = append(ex.arena, ex.row...)
+	ex.rows = append(ex.rows, ex.arena[off:off+n:off+n])
+}
+
+// resolve returns the concrete value of a term under the current row.
+func (ex *exec) resolve(t planTerm) (vocab.TermID, bool) {
+	if t.isConst {
+		return t.constID, true
+	}
+	if t.slot >= 0 {
+		if v := ex.row[t.slot]; v != freeVal {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// trySet binds a term position to v. Constants and wildcards pass through
+// unchecked (the operator that calls trySet has already honoured constant
+// constraints through its index choice, and the semantic operator checks
+// them with Leq first — mirroring the interpreted bind()). For variables it
+// binds a free slot (fresh=true: caller must unset after the continuation)
+// or requires equality with the existing binding.
+func (ex *exec) trySet(t planTerm, v vocab.TermID) (ok, fresh bool) {
+	if t.slot < 0 {
+		return true, false
+	}
+	cur := ex.row[t.slot]
+	if cur == freeVal {
+		ex.row[t.slot] = v
+		return true, true
+	}
+	return cur == v, false
+}
+
+func (ex *exec) unset(t planTerm) { ex.row[t.slot] = freeVal }
+
+// step executes operator i and recurses into the rest of the pipeline.
+func (pl *Plan) step(ex *exec, i int) {
+	if i == len(pl.ops) {
+		ex.emit()
+		return
+	}
+	o := &pl.ops[i]
+	switch o.kind {
+	case opLabel:
+		pl.runLabel(ex, o, i)
+	case opStar:
+		pl.runStar(ex, o, i)
+	case opTriple:
+		if pr, ok := ex.resolve(o.p); ok {
+			pl.runTriple(ex, o, pr, i)
+		} else {
+			for _, pr := range pl.store.Predicates() {
+				if ok, fresh := ex.trySet(o.p, pr); ok {
+					pl.runTriple(ex, o, pr, i)
+					if fresh {
+						ex.unset(o.p)
+					}
+				}
+			}
+		}
+	case opSemTriple:
+		pl.runSemDispatch(ex, o, i)
+	}
+}
+
+func (pl *Plan) runLabel(ex *exec, o *op, i int) {
+	if s, ok := ex.resolve(o.s); ok {
+		if pl.store.HasLabel(s, o.lit) {
+			pl.step(ex, i+1)
+		}
+		return
+	}
+	for _, s := range pl.store.LabeledElements(o.lit) {
+		if ok, fresh := ex.trySet(o.s, s); ok {
+			pl.step(ex, i+1)
+			if fresh {
+				ex.unset(o.s)
+			}
+		}
+	}
+}
+
+// runStar matches `S p* O` against the store's closure index.
+func (pl *Plan) runStar(ex *exec, o *op, i int) {
+	st := pl.store
+	pred := o.p.constID // validated: star predicates are constant
+	s, sOK := ex.resolve(o.s)
+	obj, oOK := ex.resolve(o.o)
+	switch {
+	case sOK && oOK:
+		if st.Reaches(s, pred, obj) {
+			pl.step(ex, i+1)
+		}
+	case sOK:
+		l := st.ForwardClosure(s, pred)
+		if l == nil {
+			// Closure is exactly {s}: the zero-length path.
+			if ok, fresh := ex.trySet(o.o, s); ok {
+				pl.step(ex, i+1)
+				if fresh {
+					ex.unset(o.o)
+				}
+			}
+			return
+		}
+		for _, t := range l {
+			if ok, fresh := ex.trySet(o.o, t); ok {
+				pl.step(ex, i+1)
+				if fresh {
+					ex.unset(o.o)
+				}
+			}
+		}
+	case oOK:
+		l := st.BackwardClosure(obj, pred)
+		if l == nil {
+			if ok, fresh := ex.trySet(o.s, obj); ok {
+				pl.step(ex, i+1)
+				if fresh {
+					ex.unset(o.s)
+				}
+			}
+			return
+		}
+		for _, t := range l {
+			if ok, fresh := ex.trySet(o.s, t); ok {
+				pl.step(ex, i+1)
+				if fresh {
+					ex.unset(o.s)
+				}
+			}
+		}
+	default:
+		// Both free: the precomputed reachability relation, no per-call
+		// dedup map — ClosurePairs is already duplicate-free.
+		for _, e := range st.ClosurePairs(pred) {
+			ok1, fr1 := ex.trySet(o.s, e.S)
+			if !ok1 {
+				continue
+			}
+			if ok2, fr2 := ex.trySet(o.o, e.O); ok2 {
+				pl.step(ex, i+1)
+				if fr2 {
+					ex.unset(o.o)
+				}
+			}
+			if fr1 {
+				ex.unset(o.s)
+			}
+		}
+	}
+}
+
+// runTriple matches an exact triple pattern under a concrete predicate,
+// reading the most specific index the bound positions allow.
+func (pl *Plan) runTriple(ex *exec, o *op, pred vocab.TermID, i int) {
+	st := pl.store
+	s, sOK := ex.resolve(o.s)
+	obj, oOK := ex.resolve(o.o)
+	switch {
+	case sOK && oOK:
+		if st.Has(ontology.Fact{S: s, P: pred, O: obj}) {
+			pl.step(ex, i+1)
+		}
+	case sOK:
+		for _, x := range st.Objects(s, pred) {
+			if ok, fresh := ex.trySet(o.o, x); ok {
+				pl.step(ex, i+1)
+				if fresh {
+					ex.unset(o.o)
+				}
+			}
+		}
+	case oOK:
+		for _, x := range st.Subjects(pred, obj) {
+			if ok, fresh := ex.trySet(o.s, x); ok {
+				pl.step(ex, i+1)
+				if fresh {
+					ex.unset(o.s)
+				}
+			}
+		}
+	default:
+		for _, f := range st.FactsWithPredicate(pred) {
+			ok1, fr1 := ex.trySet(o.s, f.S)
+			if !ok1 {
+				continue
+			}
+			if ok2, fr2 := ex.trySet(o.o, f.O); ok2 {
+				pl.step(ex, i+1)
+				if fr2 {
+					ex.unset(o.o)
+				}
+			}
+			if fr1 {
+				ex.unset(o.s)
+			}
+		}
+	}
+}
+
+// runSemDispatch enumerates candidate predicates for a semantic triple: a
+// pattern predicate q matches any stored predicate q' with q ≤ q'. Bound
+// predicate variables additionally require equality (as the interpreted
+// bind() did).
+func (pl *Plan) runSemDispatch(ex *exec, o *op, i int) {
+	if o.p.isConst {
+		for _, pr := range pl.store.Predicates() {
+			if pl.v.LeqR(o.p.constID, pr) {
+				pl.runSemTriple(ex, o, pr, i)
+			}
+		}
+		return
+	}
+	pv, bound := ex.resolve(o.p)
+	for _, pr := range pl.store.Predicates() {
+		if bound && !pl.v.LeqR(pv, pr) {
+			continue
+		}
+		if ok, fresh := ex.trySet(o.p, pr); ok {
+			pl.runSemTriple(ex, o, pr, i)
+			if fresh {
+				ex.unset(o.p)
+			}
+		}
+	}
+}
+
+// runSemTriple matches the pattern against facts stored under one concrete
+// predicate with Definition 2.5 semantics: a stored fact g witnesses the
+// pattern fact f when f ≤ g, and free variables additionally range over
+// generalizations of the stored values.
+func (pl *Plan) runSemTriple(ex *exec, o *op, pred vocab.TermID, i int) {
+	v := pl.v
+	s, sOK := ex.resolve(o.s)
+	obj, oOK := ex.resolve(o.o)
+	for _, g := range pl.store.FactsWithPredicate(pred) {
+		if sOK && !v.LeqE(s, g.S) {
+			continue
+		}
+		if oOK && !v.LeqE(obj, g.O) {
+			continue
+		}
+		var sArr, oArr [1]vocab.TermID
+		subjects := sArr[:]
+		sArr[0] = g.S
+		if !sOK && o.s.slot >= 0 {
+			subjects = append(v.ElementAncestors(g.S), g.S)
+		}
+		objects := oArr[:]
+		oArr[0] = g.O
+		if !oOK && o.o.slot >= 0 {
+			objects = append(v.ElementAncestors(g.O), g.O)
+		}
+		for _, sv := range subjects {
+			ok1, fr1 := ex.trySet(o.s, sv)
+			if !ok1 {
+				continue
+			}
+			for _, ov := range objects {
+				if ok2, fr2 := ex.trySet(o.o, ov); ok2 {
+					pl.step(ex, i+1)
+					if fr2 {
+						ex.unset(o.o)
+					}
+				}
+			}
+			if fr1 {
+				ex.unset(o.s)
+			}
+		}
+	}
+}
+
+// Results is the row-oriented outcome of a plan evaluation: one row per
+// solution, one column per plan variable (slot order). Rows are sorted in
+// the evaluator's canonical deterministic order and deduplicated.
+type Results struct {
+	vars []PlanVar
+	rows [][]vocab.TermID
+}
+
+// Vars returns the column schema (shared; do not modify).
+func (r *Results) Vars() []PlanVar { return r.vars }
+
+// Rows returns the solution rows (shared; do not modify).
+func (r *Results) Rows() [][]vocab.TermID { return r.rows }
+
+// Len returns the number of solutions.
+func (r *Results) Len() int { return len(r.rows) }
+
+// Bindings converts the rows to the legacy map form.
+func (r *Results) Bindings() []Binding {
+	out := make([]Binding, len(r.rows))
+	for i, row := range r.rows {
+		b := make(Binding, len(r.vars))
+		for j, pv := range r.vars {
+			if j < len(row) && row[j] != freeVal {
+				b[pv.Name] = row[j]
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// cmpRows orders rows exactly as the interpreted evaluator's string keys
+// did: per variable in name (= slot) order, values compare as their decimal
+// renderings inside the legacy "name=value;" key.
+func cmpRows(a, b []vocab.TermID) int {
+	for i := range a {
+		if c := cmpTermDecimal(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// cmpTermDecimal compares two term IDs as decimal strings followed by ';'
+// (the legacy binding-key layout): "10" sorts before "9", and a value whose
+// decimal is a proper prefix of the other's sorts after it (';' > digit).
+func cmpTermDecimal(a, b vocab.TermID) int {
+	if a == b {
+		return 0
+	}
+	var ab, bb [12]byte
+	as := strconv.AppendInt(ab[:0], int64(a), 10)
+	bs := strconv.AppendInt(bb[:0], int64(b), 10)
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		if as[i] != bs[i] {
+			return int(as[i]) - int(bs[i])
+		}
+	}
+	if len(as) < len(bs) {
+		return 1
+	}
+	return -1
+}

@@ -163,7 +163,22 @@ func VarKinds(bgp BGP) (map[string]vocab.Kind, error) {
 // Eval returns every binding of the BGP's variables that matches the store,
 // in a deterministic order. Wildcard positions must match something but do
 // not bind. An empty BGP yields one empty binding.
+//
+// Eval is a thin wrapper over the compiled plan pipeline (Compile + Plan.Eval,
+// see plan.go); callers that evaluate the same BGP repeatedly or want
+// row-oriented results should compile once and hold the Plan.
 func (e *Evaluator) Eval(bgp BGP) ([]Binding, error) {
+	pl, err := e.Compile(bgp)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Eval().Bindings(), nil
+}
+
+// evalInterpreted is the seed's recursive map-based matcher, kept as a
+// reference implementation: the differential tests and BenchmarkWhereEval
+// pin the compiled plan against it.
+func (e *Evaluator) evalInterpreted(bgp BGP) ([]Binding, error) {
 	if err := e.validate(bgp); err != nil {
 		return nil, err
 	}
@@ -328,82 +343,41 @@ func (e *Evaluator) matchStar(p Pattern, b Binding, k func(Binding)) {
 			}
 		}
 	default:
-		// Both free: enumerate closure from every subject that has a
-		// p-edge, plus the zero-length pairs over mentioned nodes.
-		seen := map[[2]vocab.TermID]bool{}
-		emit := func(a, bID vocab.TermID) {
-			key := [2]vocab.TermID{a, bID}
-			if seen[key] {
-				return
-			}
-			seen[key] = true
-			if nb, ok := bind(p.S, a, b); ok {
-				if nb2, ok := bind(p.O, bID, nb); ok {
+		// Both free: the store's precomputed reachability relation already
+		// holds every (subject-closure ∪ zero-length) pair, sorted and
+		// duplicate-free — no per-call dedup map needed.
+		for _, edge := range e.store.ClosurePairs(pred) {
+			if nb, ok := bind(p.S, edge.S, b); ok {
+				if nb2, ok := bind(p.O, edge.O, nb); ok {
 					k(nb2)
 				}
 			}
 		}
-		for _, f := range e.store.FactsWithPredicate(pred) {
-			for _, t := range e.forwardClosure(f.S, pred) {
-				emit(f.S, t)
-			}
-			emit(f.O, f.O)
-		}
 	}
 }
 
-// reaches reports a path of zero or more pred-edges from s to o.
+// reaches reports a path of zero or more pred-edges from s to o. The store
+// either answers from its closure index or runs an early-exit BFS; the full
+// closure is never materialized just to probe one target.
 func (e *Evaluator) reaches(s, pred, o vocab.TermID) bool {
-	for _, t := range e.forwardClosure(s, pred) {
-		if t == o {
-			return true
-		}
-	}
-	return false
+	return e.store.Reaches(s, pred, o)
 }
 
 // forwardClosure returns s plus everything reachable from s via pred edges,
-// sorted.
+// sorted, backed by the store's memoized closure index.
 func (e *Evaluator) forwardClosure(s, pred vocab.TermID) []vocab.TermID {
-	seen := map[vocab.TermID]bool{s: true}
-	stack := []vocab.TermID{s}
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, o := range e.store.Objects(x, pred) {
-			if !seen[o] {
-				seen[o] = true
-				stack = append(stack, o)
-			}
-		}
+	if l := e.store.ForwardClosure(s, pred); l != nil {
+		return l
 	}
-	return sortedKeys(seen)
+	return []vocab.TermID{s}
 }
 
 // backwardClosure returns o plus everything that reaches o via pred edges.
 func (e *Evaluator) backwardClosure(o, pred vocab.TermID) []vocab.TermID {
-	seen := map[vocab.TermID]bool{o: true}
-	stack := []vocab.TermID{o}
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, s := range e.store.Subjects(pred, x) {
-			if !seen[s] {
-				seen[s] = true
-				stack = append(stack, s)
-			}
-		}
+	if l := e.store.BackwardClosure(o, pred); l != nil {
+		return l
 	}
-	return sortedKeys(seen)
-}
-
-func sortedKeys(m map[vocab.TermID]bool) []vocab.TermID {
-	out := make([]vocab.TermID, 0, len(m))
-	for t := range m {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return []vocab.TermID{o}
 }
 
 // matchTriple matches a plain triple pattern.

@@ -155,11 +155,11 @@ func NewDAG(cfg DAGConfig) (*DAG, error) {
 	if err != nil {
 		return nil, err
 	}
-	bindings, err := sparql.NewEvaluator(store).Eval(q.Where)
+	plan, err := sparql.NewEvaluator(store).Compile(q.Where)
 	if err != nil {
 		return nil, err
 	}
-	space, err := assign.NewSpace(q, bindings, nil)
+	space, err := assign.NewSpaceFromRows(q, plan.Eval(), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -315,11 +315,11 @@ func (d *Domain) buildQuery(cfg DomainConfig) error {
 	if err != nil {
 		return fmt.Errorf("synth: domain query: %w", err)
 	}
-	bindings, err := sparql.NewEvaluator(d.Store).Eval(q.Where)
+	plan, err := sparql.NewEvaluator(d.Store).Compile(q.Where)
 	if err != nil {
 		return err
 	}
-	space, err := assign.NewSpace(q, bindings, d.MorePool)
+	space, err := assign.NewSpaceFromRows(q, plan.Eval(), d.MorePool)
 	if err != nil {
 		return err
 	}

@@ -344,11 +344,11 @@ func NewSession(store *Ontology, q *Query, opts ...Option) (*Session, error) {
 	}
 	ev := sparql.NewEvaluator(store)
 	ev.Semantic = s.semantic
-	bindings, err := ev.Eval(q.Where)
+	plan, err := ev.Compile(q.Where)
 	if err != nil {
-		return nil, fmt.Errorf("oassis: WHERE evaluation: %w", err)
+		return nil, fmt.Errorf("oassis: WHERE compilation: %w", err)
 	}
-	space, err := assign.NewSpace(q, bindings, s.morePool)
+	space, err := assign.NewSpaceFromRows(q, plan.Eval(), s.morePool)
 	if err != nil {
 		return nil, fmt.Errorf("oassis: assignment space: %w", err)
 	}
