@@ -6,6 +6,7 @@
 package oassis_test
 
 import (
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -264,12 +265,20 @@ func BenchmarkAggregatorAblation(b *testing.B) {
 // allocations per question, with no I/O, latency faults or HTTP in the way.
 // The numbers bracket the kernel refactor — the event-driven engine must not
 // be slower than the loop it replaced.
+//
+// OASSIS_BENCH_OBS=1 runs the same workload with an Observer attached, for
+// comparing disabled-vs-enabled observability cost (CI gates the disabled
+// mode against its recorded baseline; enabled mode is informational).
 func BenchmarkEngineThroughput(b *testing.B) {
 	d, err := synth.NewDAG(synth.DAGConfig{
 		Width: 60, Depth: 4, MSPPercent: 0.05, Places: 3, Seed: 11,
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+	var obsr *oassis.Observer
+	if os.Getenv("OASSIS_BENCH_OBS") == "1" {
+		obsr = oassis.NewObserver()
 	}
 	theta := d.Query.Satisfying.Support
 	var ms runtime.MemStats
@@ -287,6 +296,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			Aggregator:          crowd.NewMeanAggregator(3, theta),
 			SpecializationRatio: 0.15,
 			Seed:                7,
+			Obs:                 obsr,
 		}).Run()
 		if res.Stats.Questions == 0 {
 			b.Fatal("engine asked no questions")

@@ -3,15 +3,24 @@
 //
 // Usage:
 //
-//	oassis-bench -fig all            # everything (minutes)
-//	oassis-bench -fig 4a             # one figure
-//	oassis-bench -fig 5b -quick      # scaled-down configuration
+//	oassis-bench -fig all                  # everything (minutes)
+//	oassis-bench -fig 4a                   # one figure
+//	oassis-bench -fig 5b -quick            # scaled-down configuration
+//	oassis-bench -fig 5a -trace out.jsonl  # + per-phase trace spans
+//	oassis-bench -fig chaos -metrics       # + Prometheus metrics dump
+//	oassis-bench -fig none -explain        # query plans only, no figures
 //
 // Figures: 4a 4b 4c (crowd statistics per domain), 4d 4e (pace of data
 // collection), 4f (answer-type ratios), 5a 5b 5c (vertical vs horizontal vs
 // naive at 2%/5%/10% MSP density), text63 (Section 6.3 claims), text64
 // (Section 6.4 sweeps and laziness), chaos (departure-rate resilience
-// sweep on a virtual clock).
+// sweep on a virtual clock). The paper's figure numbers 9/10/11 are
+// accepted as aliases for 5a/5b/5c.
+//
+// -metrics, -trace and -explain attach an Observer to the harness: every
+// engine run feeds the kernel/broker metric families, every synth query
+// pipeline feeds the sparql family, and each figure's build/mine/round
+// spans land in the trace under the figure ID as phase.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"os"
 
 	"oassis/internal/exp"
+	"oassis/internal/obs"
 	"oassis/internal/synth"
 )
 
@@ -34,22 +44,76 @@ type config struct {
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure id: 4a 4b 4c 4d 4e 4f 5a 5b 5c text63 text64 growth ablation chaos all")
-		quick = flag.Bool("quick", false, "scaled-down configuration (seconds instead of minutes)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		fig      = flag.String("fig", "all", "figure id: 4a 4b 4c 4d 4e 4f 5a 5b 5c text63 text64 growth ablation chaos all none (9/10/11 alias 5a/5b/5c)")
+		quick    = flag.Bool("quick", false, "scaled-down configuration (seconds instead of minutes)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		metrics  = flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run")
+		traceOut = flag.String("trace", "", "write per-phase trace spans to this JSONL `file`")
+		explain  = flag.Bool("explain", false, "print the compiled WHERE plans of the three evaluation domains")
 	)
 	flag.Parse()
 	cfg := config{members: 248, dagWidth: 500, dagDepth: 7, trials: 6, lazyWidth: 150, seed: *seed}
 	if *quick {
 		cfg = config{members: 40, dagWidth: 100, dagDepth: 5, trials: 3, lazyWidth: 80, seed: *seed}
 	}
-	if err := run(*fig, cfg); err != nil {
+	var o *obs.Observer
+	if *metrics || *traceOut != "" || *explain {
+		o = obs.New()
+		exp.SetObserver(o)
+	}
+	if err := run(*fig, cfg, o, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "oassis-bench:", err)
+		os.Exit(1)
+	}
+	if err := emit(o, *metrics, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, cfg config) error {
+// emit writes the observer's trace and metrics after the figures ran.
+func emit(o *obs.Observer, metrics bool, traceOut string) error {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.Trace().WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s\n", traceOut)
+	}
+	if metrics {
+		fmt.Println("==== metrics ====")
+		o.Reg().WritePrometheus(os.Stdout)
+	}
+	return nil
+}
+
+func run(fig string, cfg config, o *obs.Observer, explain bool) error {
+	// The paper numbers the algorithm-comparison plots 9–11; this repo
+	// labels them 5a–5c (its figure set is renumbered). Accept both.
+	switch fig {
+	case "9":
+		fig = "5a"
+	case "10":
+		fig = "5b"
+	case "11":
+		fig = "5c"
+	}
+	if explain {
+		o.Trace().SetPhase("explain")
+		if err := explainDomains(cfg, o); err != nil {
+			return err
+		}
+	}
+	if fig == "none" {
+		return nil
+	}
 	all := fig == "all"
 	ran := false
 	for _, f := range []struct {
@@ -65,6 +129,7 @@ func run(fig string, cfg config) error {
 	} {
 		if all || fig == f.id {
 			ran = true
+			o.Trace().SetPhase(f.id)
 			fmt.Printf("==== %s ====\n", f.id)
 			if err := f.fn(cfg); err != nil {
 				return fmt.Errorf("fig %s: %w", f.id, err)
@@ -74,6 +139,27 @@ func run(fig string, cfg config) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// explainDomains compiles the three evaluation-domain queries and prints
+// each plan. With an observer attached the space construction runs
+// observed, so the plans carry actual per-operator cardinalities next to
+// the planner's estimates.
+func explainDomains(cfg config, o *obs.Observer) error {
+	fmt.Println("==== explain ====")
+	for _, dc := range []synth.DomainConfig{
+		synth.Travel(cfg.members, cfg.seed),
+		synth.Culinary(cfg.members, cfg.seed+1),
+		synth.SelfTreatment(cfg.members, cfg.seed+2),
+	} {
+		dc.Obs = o
+		d, err := synth.NewDomain(dc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s --\n%s\n", dc.Name, d.Plan.Explain())
 	}
 	return nil
 }

@@ -33,19 +33,21 @@ func main() {
 		k            = flag.Int("k", 0, "answers per assignment (default: min(5, members))")
 		timeout      = flag.Duration("answer-timeout", 5*time.Minute, "per-question member timeout")
 		seed         = flag.Int64("seed", 1, "random seed")
+		metrics      = flag.Bool("metrics", false, "serve Prometheus metrics on GET /metrics")
+		pprofFlag    = flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof (off by default: profiles expose heap contents)")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || *queryPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*ontologyPath, *queryPath, *addr, *minMembers, *k, *timeout, *seed); err != nil {
+	if err := run(*ontologyPath, *queryPath, *addr, *minMembers, *k, *timeout, *seed, *metrics, *pprofFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.Duration, seed int64) error {
+func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.Duration, seed int64, metrics, pprofOn bool) error {
 	_, store, err := oassis.LoadOntologyFile(ontologyPath)
 	if err != nil {
 		return err
@@ -58,12 +60,27 @@ func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.D
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Config{MinMembers: minMembers, AnswerTimeout: timeout})
+	// One Observer serves both layers: the session feeds it kernel, sparql
+	// and space metrics, the platform feeds it HTTP and lifecycle
+	// counters, and GET /metrics exposes the union.
+	var o *oassis.Observer
+	if metrics {
+		o = oassis.NewObserver()
+	}
+	srv := server.New(server.Config{
+		MinMembers:    minMembers,
+		AnswerTimeout: timeout,
+		Obs:           o,
+		EnablePprof:   pprofOn,
+	})
 	// The server drives the kernel through its own event broker
 	// (Session.RunBroker); WithParallelism only applies to the in-process
 	// RunCrowd/RunParallel drivers and is not needed here.
 	opts := []oassis.Option{
 		oassis.WithSeed(seed),
+	}
+	if o != nil {
+		opts = append(opts, oassis.WithObserver(o))
 	}
 	if k > 0 {
 		opts = append(opts, oassis.WithAggregator(oassis.NewMeanAggregator(k, q.Satisfying.Support)))
@@ -83,5 +100,11 @@ func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.D
 	fmt.Printf("oassis-serve: query with %d valid assignments, threshold %.2f\n",
 		sess.ValidAssignments(), sess.Theta())
 	fmt.Printf("oassis-serve: listening on %s (POST /join, then /start)\n", addr)
+	if metrics {
+		fmt.Printf("oassis-serve: metrics on GET %s/metrics\n", addr)
+	}
+	if pprofOn {
+		fmt.Printf("oassis-serve: profiling on %s/debug/pprof/\n", addr)
+	}
 	return http.ListenAndServe(addr, srv.Handler())
 }

@@ -2,6 +2,7 @@ package assign
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID is the dense integer identity of a canonical assignment within one
@@ -26,9 +27,18 @@ const NoID = noID
 // It doubles as the shared edge cache: successor and predecessor lists are
 // computed once per node and shared by every driver, user and re-run over
 // the space. All fields are guarded by mu (held by the Space's public
-// methods); nodes are immutable once published.
+// methods); nodes are immutable once published. mu is a RWMutex so the
+// steady-state hit path — an already-interned node whose edge lists are
+// memoized — runs under a shared read lock; only cache fills take the
+// write lock. The stats counters are atomics updated outside any lock.
 type interner struct {
-	mu sync.Mutex
+	mu sync.RWMutex
+
+	// Hit/miss accounting, readable without the lock via Space.Stats().
+	internHits   atomic.Int64 // intern() found an existing node
+	internMisses atomic.Int64 // intern() registered a new node
+	edgeHits     atomic.Int64 // Successors/Predecessors served memoized
+	edgeMisses   atomic.Int64 // Successors/Predecessors had to compute
 
 	// nodes[id] is the canonical assignment with that ID.
 	nodes []*Assignment
@@ -61,6 +71,7 @@ func (in *interner) intern(a *Assignment) (*Assignment, bool) {
 	h := a.hash()
 	for _, id := range in.buckets[h] {
 		if in.nodes[id].equal(a) {
+			in.internHits.Add(1)
 			return in.nodes[id], false
 		}
 	}
@@ -68,7 +79,15 @@ func (in *interner) intern(a *Assignment) (*Assignment, bool) {
 	a.id = id
 	in.nodes = append(in.nodes, a)
 	in.buckets[h] = append(in.buckets[h], id)
+	in.internMisses.Add(1)
 	return a, true
+}
+
+// canonical reports whether a is this interner's published node for its ID.
+// Safe under either lock mode: nodes are append-only and immutable.
+func (in *interner) canonical(a *Assignment) bool {
+	id := a.id
+	return id != noID && int(id) < len(in.nodes) && in.nodes[id] == a
 }
 
 // grow extends the per-node side tables to cover every interned ID.

@@ -267,6 +267,12 @@ func (s *Space) Leq(a, b *Assignment) bool { return Leq(s.v, s.kinds, a, b) }
 // Successors, Predecessors and Valid are already canonical; Canon is for
 // assignments built externally (e.g. planted test fixtures).
 func (s *Space) Canon(a *Assignment) *Assignment {
+	s.in.mu.RLock()
+	if s.in.canonical(a) {
+		s.in.mu.RUnlock()
+		return a
+	}
+	s.in.mu.RUnlock()
 	s.in.mu.Lock()
 	defer s.in.mu.Unlock()
 	return s.canonLocked(a)
@@ -274,7 +280,7 @@ func (s *Space) Canon(a *Assignment) *Assignment {
 
 // canonLocked interns a; caller holds in.mu.
 func (s *Space) canonLocked(a *Assignment) *Assignment {
-	if id := a.id; id != noID && int(id) < len(s.in.nodes) && s.in.nodes[id] == a {
+	if s.in.canonical(a) {
 		return a // already canonical in this space
 	}
 	c, _ := s.in.intern(a)
@@ -285,9 +291,57 @@ func (s *Space) canonLocked(a *Assignment) *Assignment {
 // NumNodes returns the number of assignments interned so far; NodeIDs are
 // dense in [0, NumNodes). It grows as the lattice is explored lazily.
 func (s *Space) NumNodes() int {
-	s.in.mu.Lock()
-	defer s.in.mu.Unlock()
+	s.in.mu.RLock()
+	defer s.in.mu.RUnlock()
 	return len(s.in.nodes)
+}
+
+// SpaceStats is a point-in-time snapshot of the interner and shared edge
+// cache, surfaced for observability (Space.Stats). Hits/misses are
+// cumulative since construction.
+type SpaceStats struct {
+	Nodes        int   // assignments interned (dense NodeID range)
+	Valid        int   // projected valid assignments |𝒜valid|
+	InternHits   int64 // intern() calls answered by an existing node
+	InternMisses int64 // intern() calls that registered a new node
+	EdgeHits     int64 // Successors/Predecessors served from the memo
+	EdgeMisses   int64 // Successors/Predecessors that computed edge lists
+}
+
+// DedupRate returns the fraction of intern() calls deduplicated to an
+// existing node (0 when the interner is untouched).
+func (st SpaceStats) DedupRate() float64 {
+	total := st.InternHits + st.InternMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.InternHits) / float64(total)
+}
+
+// EdgeHitRate returns the fraction of edge-cache lookups served memoized.
+func (st SpaceStats) EdgeHitRate() float64 {
+	total := st.EdgeHits + st.EdgeMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.EdgeHits) / float64(total)
+}
+
+// Stats snapshots the interner/edge-cache counters. The counters are
+// atomics, so Stats never contends with the mining hot path.
+func (s *Space) Stats() SpaceStats {
+	s.in.mu.RLock()
+	nodes := len(s.in.nodes)
+	valid := len(s.valid)
+	s.in.mu.RUnlock()
+	return SpaceStats{
+		Nodes:        nodes,
+		Valid:        valid,
+		InternHits:   s.in.internHits.Load(),
+		InternMisses: s.in.internMisses.Load(),
+		EdgeHits:     s.in.edgeHits.Load(),
+		EdgeMisses:   s.in.edgeMisses.Load(),
+	}
 }
 
 // project dedupes the WHERE bindings projected onto the mining variables.
@@ -454,6 +508,14 @@ func (s *Space) ubMinimal(name string) []vocab.TermID {
 // MORE facts. The traversal of Algorithm 1 starts here. The result is
 // memoized and shared — callers must treat it as read-only.
 func (s *Space) Roots() []*Assignment {
+	s.in.mu.RLock()
+	if s.in.rootsDone {
+		out := s.in.roots
+		s.in.mu.RUnlock()
+		return out
+	}
+	s.in.mu.RUnlock()
+
 	s.in.mu.Lock()
 	defer s.in.mu.Unlock()
 	if !s.in.rootsDone {
@@ -733,12 +795,27 @@ func (s *Space) termValues(a *Assignment, t sparql.Term) ([]vocab.TermID, bool) 
 // The result is deduplicated, deterministically ordered, memoized on the
 // space, and shared — callers must treat it as read-only.
 func (s *Space) Successors(a *Assignment) []*Assignment {
+	// Steady-state fast path: a canonical node whose successor list is
+	// memoized needs only a shared read lock — concurrent drivers never
+	// serialize on cache hits.
+	s.in.mu.RLock()
+	if s.in.canonical(a) && s.in.succDone[a.id] {
+		out := s.in.succs[a.id]
+		s.in.mu.RUnlock()
+		s.in.edgeHits.Add(1)
+		return out
+	}
+	s.in.mu.RUnlock()
+
 	s.in.mu.Lock()
 	defer s.in.mu.Unlock()
 	a = s.canonLocked(a)
 	if s.in.succDone[a.id] {
+		// Lost the upgrade race to another filler: still a hit.
+		s.in.edgeHits.Add(1)
 		return s.in.succs[a.id]
 	}
+	s.in.edgeMisses.Add(1)
 	out := s.computeSuccessorsLocked(a)
 	// computeSuccessorsLocked may have interned new nodes, moving the
 	// backing arrays of the side tables; index afresh.
@@ -898,12 +975,23 @@ func (s *Space) factSpecializations(f ontology.Fact) []ontology.Fact {
 // value from a multiplicity set, and generalization/removal of MORE facts.
 // Like Successors, the result is memoized and shared — read-only.
 func (s *Space) Predecessors(a *Assignment) []*Assignment {
+	s.in.mu.RLock()
+	if s.in.canonical(a) && s.in.predDone[a.id] {
+		out := s.in.preds[a.id]
+		s.in.mu.RUnlock()
+		s.in.edgeHits.Add(1)
+		return out
+	}
+	s.in.mu.RUnlock()
+
 	s.in.mu.Lock()
 	defer s.in.mu.Unlock()
 	a = s.canonLocked(a)
 	if s.in.predDone[a.id] {
+		s.in.edgeHits.Add(1)
 		return s.in.preds[a.id]
 	}
+	s.in.edgeMisses.Add(1)
 	out := s.computePredecessorsLocked(a)
 	s.in.preds[a.id] = out
 	s.in.predDone[a.id] = true

@@ -6,6 +6,7 @@ import (
 
 	"oassis/internal/assign"
 	"oassis/internal/crowd"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/vocab"
 )
@@ -70,6 +71,11 @@ type kernel struct {
 	visited  []uint32
 	epoch    uint32
 	queueBuf []*assign.Assignment
+
+	// km mirrors the Stats counters into the configured Observer as
+	// events happen, so a live /metrics scrape sees mid-run state. Nil
+	// (the default) costs one nil check per event.
+	km *obs.KernelMetrics
 
 	nextAskID int64
 	// transcripts records, per member, every usable answer in order —
@@ -152,6 +158,7 @@ func newKernel(sp *assign.Space, ids []string, cfg EngineConfig) *kernel {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		decided:   make(map[assign.NodeID]crowd.Decision),
 		confirmed: make(map[assign.NodeID]bool),
+		km:        cfg.Obs.KernelSet().OrNop(),
 	}
 	if cfg.Consistency {
 		k.checker = crowd.NewConsistencyChecker(sp.Vocabulary())
@@ -436,12 +443,14 @@ func (k *kernel) apply(r crowd.Reply) {
 		// A top-k run ended while this question was in flight; the
 		// answer arrived for nothing.
 		k.stats.Discarded++
+		k.km.Discarded.Inc()
 		return
 	}
 	if r.Outcome == crowd.Departed {
 		if !u.departed {
 			u.departed = true
 			k.stats.Departures++
+			k.km.Departures.Inc()
 		}
 		return
 	}
@@ -452,6 +461,8 @@ func (k *kernel) apply(r crowd.Reply) {
 		// re-poses the assignment on the member's next turn.
 		k.stats.TimedOut++
 		k.stats.Discarded++
+		k.km.Timeouts.Inc()
+		k.km.Discarded.Inc()
 		u.timeouts++
 		max := k.cfg.MaxAnswerTimeouts
 		if max <= 0 {
@@ -460,12 +471,14 @@ func (k *kernel) apply(r crowd.Reply) {
 		if u.timeouts >= max {
 			u.departed = true
 			k.stats.Departures++
+			k.km.Departures.Inc()
 		}
 		return
 	}
 	u.timeouts = 0
 	u.asked++
 	k.stats.Questions++
+	k.km.Questions.Inc()
 	switch p.ask.Kind {
 	case crowd.ConcreteAsk:
 		k.stats.ConcreteQ++
@@ -527,6 +540,7 @@ func (k *kernel) recordAnswer(u *userState, a *assign.Assignment, support float6
 	u.answers[a.ID()] = support
 	if auto {
 		k.stats.AutoAnswers++
+		k.km.Inferred.Inc()
 	}
 	if k.checker != nil && !auto {
 		k.checker.Record(u.id, k.space.Instantiate(a), support)
@@ -662,6 +676,7 @@ func (k *kernel) checkConfirmations() {
 		if done {
 			k.confirmed[b.ID()] = true
 			k.tracker.onMSP(b)
+			k.km.MSPs.Inc()
 			if k.cfg.OnMSP != nil {
 				k.cfg.OnMSP(b)
 			}
@@ -696,6 +711,9 @@ func (k *kernel) result() *Result {
 	// and the HTTP wire format; the translation from NodeIDs happens
 	// once here, off the hot path.
 	res := &Result{Stats: k.stats, Supports: make(map[string]float64)}
+	if t := k.cfg.Obs.Trace(); t != nil {
+		res.Trace = t.Summary()
+	}
 	for _, a := range k.tracked {
 		if k.agg.Answers(a.ID()) > 0 {
 			res.Supports[a.Key()] = k.agg.Support(a.ID())

@@ -7,6 +7,7 @@ import (
 	"oassis/internal/assign"
 	"oassis/internal/chaos"
 	"oassis/internal/crowd"
+	"oassis/internal/obs"
 )
 
 // EngineConfig parameterizes the multi-user evaluation of Section 4.2.
@@ -61,6 +62,10 @@ type EngineConfig struct {
 	// RecordTranscript collects a per-member interview log into
 	// Result.Transcripts, for differential testing across drivers.
 	RecordTranscript bool
+	// Obs, when set, receives kernel metrics, per-round trace spans and
+	// (for Run/RunParallel) broker metrics. Nil disables observability:
+	// the kernel pays one nil check per event, nothing more.
+	Obs *obs.Observer
 }
 
 // Engine is the multi-user query evaluator: one event-driven mining
@@ -112,6 +117,7 @@ func newBrokerEngine(sp *assign.Space, ids []string, cfg EngineConfig) *Engine {
 // members' answers can settle assignments and unlock new regions.
 func (e *Engine) Run() *Result {
 	b := crowd.NewMemberBroker(e.members, e.clock.Now)
+	b.Metrics = e.k.cfg.Obs.BrokerSet()
 	return e.drive(func(asks []*crowd.Ask) []crowd.Reply {
 		replies := make([]crowd.Reply, 0, len(asks))
 		for _, a := range asks {
@@ -145,18 +151,42 @@ func (e *Engine) RunWith(b crowd.Broker) *Result {
 // drive is the round loop every driver shares: select, dispatch, fold.
 // Replies are applied in ask order regardless of arrival order, which is
 // what makes the drivers behaviorally identical.
+//
+// When the config carries an Observer, each round becomes one trace span
+// ("round", with ask/reply/border attributes) timed on the engine clock —
+// chaos runs with a virtual clock therefore trace virtual durations, the
+// same ones their deadlines are judged by.
 func (e *Engine) drive(dispatch func([]*crowd.Ask) []crowd.Reply) *Result {
+	observed := e.k.cfg.Obs != nil
+	km := e.k.km // non-nil; all fields no-ops when unobserved
+	tr := e.k.cfg.Obs.Trace()
+	runStart := e.clock.Now()
 	for {
+		roundStart := e.clock.Now()
 		asks := e.k.beginRound()
 		if len(asks) == 0 {
 			break
 		}
+		km.InFlight.Set(int64(len(asks)))
 		replies := dispatch(asks)
 		sort.Slice(replies, func(i, j int) bool {
 			return replies[i].Ask.ID < replies[j].Ask.ID
 		})
 		for _, r := range replies {
 			e.k.apply(r)
+			km.InFlight.Add(-1)
+		}
+		km.Replies.Add(int64(len(replies)))
+		km.InFlight.Set(0)
+		if observed {
+			border := len(e.k.global.SignificantBorder())
+			now := e.clock.Now()
+			dur := now.Sub(roundStart)
+			km.RoundComplete(len(asks), border, dur)
+			tr.Record("round", roundStart.Sub(runStart), dur,
+				obs.Attr{Key: "asks", Val: int64(len(asks))},
+				obs.Attr{Key: "replies", Val: int64(len(replies))},
+				obs.Attr{Key: "border", Val: int64(border)})
 		}
 	}
 	e.k.finalize()

@@ -20,6 +20,7 @@ func (e *Engine) RunParallel(workers int) *Result {
 		return e.Run()
 	}
 	b := crowd.NewMemberBroker(e.members, e.clock.Now)
+	b.Metrics = e.k.cfg.Obs.BrokerSet()
 	return e.drive(func(asks []*crowd.Ask) []crowd.Reply {
 		replies := make([]crowd.Reply, len(asks))
 		var wg sync.WaitGroup

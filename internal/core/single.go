@@ -6,6 +6,7 @@ import (
 
 	"oassis/internal/assign"
 	"oassis/internal/crowd"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/vocab"
 )
@@ -60,6 +61,9 @@ type SingleUser struct {
 	MaxMSPs int
 	// OnMSP streams each confirmed MSP.
 	OnMSP func(*assign.Assignment)
+	// Obs, when set, receives question/departure/MSP counters and the
+	// run's trace summary. Nil disables observability.
+	Obs *obs.Observer
 }
 
 // Run executes the strategy until the space is fully classified and returns
@@ -69,6 +73,8 @@ func (r *SingleUser) Run() *Result {
 	s.rng = rand.New(rand.NewSource(r.Seed))
 	s.maxMSPs = r.MaxMSPs
 	s.onMSP = r.OnMSP
+	s.obsv = r.Obs
+	s.km = r.Obs.KernelSet().OrNop()
 	switch r.Strategy {
 	case Horizontal:
 		s.runHorizontal(r.Member)
@@ -112,6 +118,11 @@ type session struct {
 	maxMSPs   int
 	onMSP     func(*assign.Assignment)
 	stopped   bool
+
+	// obsv/km mirror the Stats counters into an Observer as events
+	// happen; both are nil (no-op) unless SingleUser.Obs is set.
+	obsv *obs.Observer
+	km   *obs.KernelMetrics
 }
 
 func newSession(sp *assign.Space, theta float64, watch []*assign.Assignment) *session {
@@ -231,6 +242,7 @@ func (s *session) checkConfirmations() {
 		if done {
 			s.confirmed[b.ID()] = true
 			s.tracker.onMSP(b)
+			s.km.MSPs.Inc()
 			if s.onMSP != nil {
 				s.onMSP(b)
 			}
@@ -247,6 +259,7 @@ func (s *session) checkConfirmations() {
 func (s *session) askConcrete(m crowd.Member, a *assign.Assignment) bool {
 	if s.pruned(a) {
 		s.stats.AutoAnswers++
+		s.km.Inferred.Inc()
 		s.markInsignificant(a)
 		return false
 	}
@@ -255,11 +268,13 @@ func (s *session) askConcrete(m crowd.Member, a *assign.Assignment) bool {
 		// The only member left; end the run with what is confirmed so far
 		// (the same early-termination semantics as top-k).
 		s.stats.Departures++
+		s.km.Departures.Inc()
 		s.stopped = true
 		return false
 	}
 	s.stats.Questions++
 	s.stats.ConcreteQ++
+	s.km.Questions.Inc()
 	if len(resp.Pruned) > 0 {
 		s.stats.PruneClicks++
 		for _, t := range resp.Pruned {
@@ -287,6 +302,7 @@ func (s *session) unclassifiedSuccessors(a *assign.Assignment) []*assign.Assignm
 		}
 		if s.pruned(succ) {
 			s.stats.AutoAnswers++
+			s.km.Inferred.Inc()
 			s.markInsignificant(succ)
 			continue
 		}
@@ -335,16 +351,19 @@ func (s *session) askSpecialization(m crowd.Member, base *assign.Assignment, ope
 	idx, resp := m.AskSpecialize(s.space.Instantiate(base), cands)
 	if resp.Departed {
 		s.stats.Departures++
+		s.km.Departures.Inc()
 		s.stopped = true
 		return nil, false
 	}
 	s.stats.Questions++
 	s.stats.SpecialQ++
+	s.km.Questions.Inc()
 	if idx < 0 {
 		// "None of these": support 0 for every proposed successor at
 		// the cost of a single question (Section 6.2).
 		s.stats.NoneOfThese++
 		s.stats.AutoAnswers += len(open) - 1
+		s.km.Inferred.Add(int64(len(open) - 1))
 		for _, o := range open {
 			s.markInsignificant(o)
 		}
@@ -380,6 +399,7 @@ func (s *session) minimalUnclassified() *assign.Assignment {
 		case assign.Unknown:
 			if s.pruned(a) {
 				s.stats.AutoAnswers++
+				s.km.Inferred.Inc()
 				s.markInsignificant(a)
 				continue
 			}
@@ -502,6 +522,9 @@ func (s *session) runNaive(m crowd.Member) {
 // public form here, once, off the hot path.
 func (s *session) result() *Result {
 	res := &Result{Stats: s.stats, Supports: make(map[string]float64, len(s.supports))}
+	if t := s.obsv.Trace(); t != nil {
+		res.Trace = t.Summary()
+	}
 	for _, a := range s.tracked {
 		if sup, ok := s.supports[a.ID()]; ok {
 			res.Supports[a.Key()] = sup

@@ -7,6 +7,7 @@ package core
 
 import (
 	"oassis/internal/assign"
+	"oassis/internal/obs"
 )
 
 // QuestionKind distinguishes the interaction types of Sections 4.1 and 6.2.
@@ -102,6 +103,9 @@ type Result struct {
 	// behaviorally equivalent iff their transcripts match.
 	Transcripts map[string][]string
 	Stats       Stats
+	// Trace, when the run carried an Observer, summarizes its recorded
+	// spans by (phase, name) — where the run's time went. Nil otherwise.
+	Trace *obs.TraceSummary
 }
 
 // SupportOf returns the aggregated support recorded for an assignment

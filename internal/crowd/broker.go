@@ -3,6 +3,7 @@ package crowd
 import (
 	"time"
 
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/vocab"
 )
@@ -86,6 +87,10 @@ type Broker interface {
 type MemberBroker struct {
 	members []Member
 	now     func() time.Time
+
+	// Metrics, when set, records each posted question and each reply's
+	// outcome and round-trip latency. Nil costs a branch.
+	Metrics *obs.BrokerMetrics
 }
 
 // NewMemberBroker builds a broker over the run's member list. now
@@ -120,5 +125,9 @@ func (b *MemberBroker) Post(ask *Ask, deliver func(Reply)) {
 		}
 	}
 	r.Elapsed = b.now().Sub(start)
+	if b.Metrics != nil {
+		b.Metrics.Posted.Inc()
+		b.Metrics.Reply(int(r.Outcome), r.Elapsed)
+	}
 	deliver(r)
 }

@@ -4,8 +4,11 @@ import (
 	"math"
 	"testing"
 
+	"time"
+
 	"oassis/internal/assign"
 	"oassis/internal/crowd"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/paperdata"
 )
@@ -275,5 +278,28 @@ func TestSpammerMember(t *testing.T) {
 	}
 	if s.ID() != "sp" {
 		t.Error("ID mismatch")
+	}
+}
+
+func TestMemberBrokerMetrics(t *testing.T) {
+	v, _ := paperdata.Build()
+	du1, _ := paperdata.Table3(v)
+	m := crowd.NewSimMember("u1", v, du1, 1)
+	o := obs.New()
+	b := crowd.NewMemberBroker([]crowd.Member{m}, time.Now)
+	b.Metrics = o.Broker
+	fs := ontology.NewFactSet(paperdata.Fact(v, "Biking", "doAt", "Central Park"))
+	var got crowd.Reply
+	ask := &crowd.Ask{ID: 1, Member: "u1", Index: 0, Kind: crowd.ConcreteAsk, Target: fs}
+	b.Post(ask, func(r crowd.Reply) { got = r })
+	if got.Outcome != crowd.Answered {
+		t.Fatalf("outcome = %v", got.Outcome)
+	}
+	if o.Broker.Posted.Value() != 1 || o.Broker.Answered.Value() != 1 {
+		t.Fatalf("broker counters: posted=%d answered=%d",
+			o.Broker.Posted.Value(), o.Broker.Answered.Value())
+	}
+	if o.Broker.RoundTrip.Count() != 1 {
+		t.Fatalf("round-trip histogram count = %d", o.Broker.RoundTrip.Count())
 	}
 }

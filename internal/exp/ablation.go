@@ -26,6 +26,7 @@ type AblationRow struct {
 // against a clean-crowd reference. This is the ablation DESIGN.md calls out
 // for the pluggable-aggregation decision.
 func AggregatorAblation(cfg synth.DomainConfig, spammers int, seed int64) ([]AblationRow, error) {
+	cfg.Obs = obsv
 	d, err := synth.NewDomain(cfg)
 	if err != nil {
 		return nil, err
@@ -37,6 +38,7 @@ func AggregatorAblation(cfg synth.DomainConfig, spammers int, seed int64) ([]Abl
 		Theta:      theta,
 		Aggregator: crowd.NewMeanAggregator(aggK, theta),
 		Seed:       seed,
+		Obs:        obsv,
 	}).Run()
 	refClass := classifyValid(d, ref)
 	rows := []AblationRow{{
@@ -67,6 +69,7 @@ func AggregatorAblation(cfg synth.DomainConfig, spammers int, seed int64) ([]Abl
 			Consistency:          vr.consistency,
 			CalibrationQuestions: vr.calibration,
 			Seed:                 seed,
+			Obs:                  obsv,
 		})
 		res := eng.Run()
 		rows = append(rows, AblationRow{

@@ -8,6 +8,7 @@ import (
 	"oassis/internal/chaos"
 	"oassis/internal/core"
 	"oassis/internal/crowd"
+	"oassis/internal/obs"
 	"oassis/internal/synth"
 )
 
@@ -43,7 +44,9 @@ func ChaosResilience(dagCfg synth.DAGConfig, members int, rates []float64, seed 
 	var rows []ChaosRow
 	var baseline map[string]bool
 	for _, rate := range rates {
-		d, err := synth.NewDAG(dagCfg)
+		cfg := dagCfg
+		cfg.Obs = obsv
+		d, err := synth.NewDAG(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -64,12 +67,16 @@ func ChaosResilience(dagCfg synth.DAGConfig, members int, rates []float64, seed 
 			pool[i] = chaos.Wrap(d.Oracle(0, seed+int64(i)), clock, f)
 		}
 		theta := d.Query.Satisfying.Support
+		mine := span("mine")
 		res := core.NewEngine(d.Space, pool, core.EngineConfig{
 			Theta:      theta,
 			Aggregator: crowd.NewMeanAggregator(3, theta),
 			Seed:       seed,
 			Clock:      clock,
+			Obs:        obsv,
 		}).Run()
+		mine(obs.Attr{Key: "depart_pct", Val: int64(100 * rate)},
+			obs.Attr{Key: "questions", Val: int64(res.Stats.Questions)})
 		found := make(map[string]bool, len(res.MSPs))
 		for _, m := range res.MSPs {
 			found[m.Key()] = true

@@ -13,9 +13,30 @@ import (
 	"oassis/internal/assign"
 	"oassis/internal/core"
 	"oassis/internal/crowd"
+	"oassis/internal/obs"
 	"oassis/internal/synth"
 	"oassis/internal/vocab"
 )
+
+// obsv, when set via SetObserver, observes every experiment this package
+// runs: engines get kernel/broker metrics and round spans, the synth query
+// pipelines get sparql metrics, and the harness itself traces the
+// build/mine phases of each figure. Nil (the default) disables all of it.
+var obsv *obs.Observer
+
+// SetObserver attaches o to all subsequent experiment runs (nil detaches).
+// The caller owns phase labelling: stamp o.Tracer.SetPhase(figureID) before
+// each figure so its spans group under the figure in traces and summaries.
+func SetObserver(o *obs.Observer) { obsv = o }
+
+// span opens one harness stage: it returns a func that records the elapsed
+// wall-clock span, with any end-time attributes, when called. No-op without
+// an observer.
+func span(name string) func(attrs ...obs.Attr) {
+	tr := obsv.Trace()
+	start := tr.Begin()
+	return func(attrs ...obs.Attr) { tr.End(name, start, attrs...) }
+}
 
 // CrowdStatsRow is one threshold row of Figures 4a–4c.
 type CrowdStatsRow struct {
@@ -57,10 +78,13 @@ const aggK = 5
 // so successor/predecessor lists computed while mining at theta_1 are free
 // for every later threshold — the replay counterpart of the answer cache.
 func CrowdStats(cfg synth.DomainConfig, thetas []float64, seed int64) (*CrowdStatsResult, error) {
+	cfg.Obs = obsv
+	build := span("domain_build")
 	d, err := synth.NewDomain(cfg)
 	if err != nil {
 		return nil, err
 	}
+	build(obs.Attr{Key: "valid", Val: int64(len(d.Space.Valid()))})
 	cache := core.NewCrowdCache()
 	members := make([]crowd.Member, len(d.Members))
 	for i, m := range d.Members {
@@ -74,13 +98,17 @@ func CrowdStats(cfg synth.DomainConfig, thetas []float64, seed int64) (*CrowdSta
 	sorted := append([]float64{}, thetas...)
 	sort.Float64s(sorted)
 	for i, theta := range sorted {
+		mine := span("mine")
 		eng := core.NewEngine(d.Space, members, core.EngineConfig{
 			Theta:               theta,
 			Aggregator:          crowd.NewMeanAggregator(aggK, theta),
 			SpecializationRatio: 0.12,
 			Seed:                seed,
+			Obs:                 obsv,
 		})
 		r := eng.Run()
+		mine(obs.Attr{Key: "theta_pct", Val: int64(100 * theta)},
+			obs.Attr{Key: "questions", Val: int64(r.Stats.Questions)})
 		baseline := aggK * len(d.Space.Valid())
 		res.Rows = append(res.Rows, CrowdStatsRow{
 			Theta:       theta,
@@ -125,17 +153,23 @@ type PaceResult struct {
 // the percentage of discovered MSPs / valid MSPs / classified valid
 // assignments, at the base threshold.
 func Pace(cfg synth.DomainConfig, theta float64, seed int64) (*PaceResult, error) {
+	cfg.Obs = obsv
+	build := span("domain_build")
 	d, err := synth.NewDomain(cfg)
 	if err != nil {
 		return nil, err
 	}
+	build(obs.Attr{Key: "valid", Val: int64(len(d.Space.Valid()))})
+	mine := span("mine")
 	eng := core.NewEngine(d.Space, d.Members, core.EngineConfig{
 		Theta:               theta,
 		Aggregator:          crowd.NewMeanAggregator(aggK, theta),
 		SpecializationRatio: 0.12,
 		Seed:                seed,
+		Obs:                 obsv,
 	})
 	r := eng.Run()
+	mine(obs.Attr{Key: "questions", Val: int64(r.Stats.Questions)})
 	res := &PaceResult{
 		Domain:         cfg.Name,
 		Theta:          theta,
@@ -231,10 +265,12 @@ func AnswerTypes(dagCfg synth.DAGConfig, trials int, seed int64) ([]Curve, error
 		for tr := 0; tr < trials; tr++ {
 			cfg := dagCfg
 			cfg.Seed = seed + int64(tr)
+			cfg.Obs = obsv
 			d, err := synth.NewDAG(cfg)
 			if err != nil {
 				return nil, err
 			}
+			mine := span("mine")
 			run := &core.SingleUser{
 				Space:               d.Space,
 				Member:              d.Oracle(vr.pruneRatio, seed+int64(tr)),
@@ -242,8 +278,11 @@ func AnswerTypes(dagCfg synth.DAGConfig, trials int, seed int64) ([]Curve, error
 				SpecializationRatio: vr.specRatio,
 				Seed:                seed + int64(100+tr),
 				Watch:               d.Planted,
+				Obs:                 obsv,
 			}
 			r := run.Run()
+			mine(obs.Attr{Key: "variant", Val: int64(vi)},
+				obs.Attr{Key: "questions", Val: int64(r.Stats.Questions)})
 			c := discoveryCurve(r.Stats.WatchDiscoveredAt)
 			for i := range acc {
 				acc[i] += c[i]
@@ -267,10 +306,12 @@ func Algorithms(dagCfg synth.DAGConfig, trials int, seed int64) ([]Curve, error)
 		for tr := 0; tr < trials; tr++ {
 			cfg := dagCfg
 			cfg.Seed = seed + int64(tr)
+			cfg.Obs = obsv
 			d, err := synth.NewDAG(cfg)
 			if err != nil {
 				return nil, err
 			}
+			mine := span("mine")
 			run := &core.SingleUser{
 				Space:    d.Space,
 				Member:   d.Oracle(0, seed+int64(tr)),
@@ -278,8 +319,11 @@ func Algorithms(dagCfg synth.DAGConfig, trials int, seed int64) ([]Curve, error)
 				Strategy: st,
 				Seed:     seed + int64(100+tr),
 				Watch:    d.Planted,
+				Obs:      obsv,
 			}
 			r := run.Run()
+			mine(obs.Attr{Key: "strategy", Val: int64(si)},
+				obs.Attr{Key: "questions", Val: int64(r.Stats.Questions)})
 			c := discoveryCurve(r.Stats.WatchDiscoveredAt)
 			for i := range acc {
 				acc[i] += c[i]
@@ -319,12 +363,13 @@ func Laziness(dagCfg synth.DAGConfig, seed int64) (*LazinessResult, error) {
 	if dagCfg.MultiMSPSize < 2 {
 		dagCfg.MultiMSPSize = 2
 	}
+	dagCfg.Obs = obsv
 	d, err := synth.NewDAG(dagCfg)
 	if err != nil {
 		return nil, err
 	}
 	r := (&core.SingleUser{
-		Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed,
+		Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed, Obs: obsv,
 	}).Run()
 	maxSize := dagCfg.MultiMSPSize + 1
 	eager := eagerAntichains(d, maxSize, seed)
@@ -400,13 +445,13 @@ func ShapeSweep(widths, depths []int, mspPct float64, seed int64) ([]SweepRow, e
 	for _, w := range widths {
 		for _, dep := range depths {
 			d, err := synth.NewDAG(synth.DAGConfig{
-				Width: w, Depth: dep, MSPPercent: mspPct, Seed: seed,
+				Width: w, Depth: dep, MSPPercent: mspPct, Seed: seed, Obs: obsv,
 			})
 			if err != nil {
 				return nil, err
 			}
 			r := (&core.SingleUser{
-				Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed,
+				Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed, Obs: obsv,
 			}).Run()
 			rows = append(rows, SweepRow{
 				Label:     fmt.Sprintf("width=%d depth=%d", w, dep),
@@ -439,12 +484,13 @@ func MultiplicitySweep(width, depth int, mspPct float64, seed int64) ([]SweepRow
 			MultiMSPPercent: multi.pct,
 			MultiMSPSize:    multi.size,
 			Seed:            seed,
+			Obs:             obsv,
 		})
 		if err != nil {
 			return nil, err
 		}
 		r := (&core.SingleUser{
-			Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed,
+			Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed, Obs: obsv,
 		}).Run()
 		rows = append(rows, SweepRow{
 			Label:     multi.label,
@@ -461,12 +507,13 @@ func DistributionSweep(dagCfg synth.DAGConfig, seed int64) ([]SweepRow, error) {
 	for _, dist := range []synth.Distribution{synth.Uniform, synth.Near, synth.Far} {
 		cfg := dagCfg
 		cfg.Distribution = dist
+		cfg.Obs = obsv
 		d, err := synth.NewDAG(cfg)
 		if err != nil {
 			return nil, err
 		}
 		r := (&core.SingleUser{
-			Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed,
+			Space: d.Space, Member: d.Oracle(0, seed), Theta: 0.5, Seed: seed, Obs: obsv,
 		}).Run()
 		rows = append(rows, SweepRow{
 			Label:     dist.String(),

@@ -61,6 +61,7 @@ func CrowdGrowth(cfg synth.DomainConfig, sizes []int, model LatencyModel, seed i
 	for _, n := range sizes {
 		dcfg := cfg
 		dcfg.Members = n
+		dcfg.Obs = obsv
 		d, err := synth.NewDomain(dcfg)
 		if err != nil {
 			return nil, err
@@ -71,6 +72,7 @@ func CrowdGrowth(cfg synth.DomainConfig, sizes []int, model LatencyModel, seed i
 			Theta:      theta,
 			Aggregator: crowd.NewMeanAggregator(aggK, theta),
 			Seed:       seed,
+			Obs:        obsv,
 		})
 		res := eng.Run()
 		for _, p := range res.Stats.Progress {

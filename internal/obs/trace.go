@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a Span. Values are int64 because every
+// span attribute the engine records is a count or an ID; keeping the type
+// closed avoids interface boxing on the record path.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Span is one timed unit of work: a query compile, a space construction, an
+// engine round, a full run. Phase groups spans belonging to the same logical
+// stage (e.g. a figure ID or "compile"/"mine").
+type Span struct {
+	Phase string
+	Name  string
+	Start time.Duration // offset from the tracer epoch
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Tracer records spans into a fixed-capacity ring buffer. When the ring is
+// full the oldest spans are overwritten and Dropped counts them; tracing
+// never allocates beyond the ring and never blocks the engine on I/O.
+// A nil *Tracer is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	phase   string
+	ring    []Span
+	next    int
+	total   int64 // spans ever recorded
+	dropped int64
+}
+
+// DefaultTraceCapacity is the ring size used by NewTracer and Observer.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer with the given ring capacity (DefaultTraceCapacity
+// if n <= 0). The epoch is the construction time; span starts are recorded as
+// offsets from it.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	return &Tracer{epoch: time.Now(), ring: make([]Span, 0, n)}
+}
+
+// SetPhase stamps the current phase; spans recorded afterwards carry it.
+func (t *Tracer) SetPhase(phase string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.phase = phase
+	t.mu.Unlock()
+}
+
+// Phase returns the current phase ("" for a nil tracer).
+func (t *Tracer) Phase() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.phase
+}
+
+// Begin returns the current offset from the tracer epoch, for pairing with
+// End. A nil tracer returns 0.
+func (t *Tracer) Begin() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}
+
+// End records a span started at the offset returned by Begin.
+func (t *Tracer) End(name string, start time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.Record(name, start, time.Since(t.epoch)-start, attrs...)
+}
+
+// Record appends a span with an explicit start offset and duration — used
+// by the engine drivers, whose clocks may be virtual (chaos.VirtualClock).
+func (t *Tracer) Record(name string, start, dur time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	s := Span{Name: name, Start: start, Dur: dur, Attrs: attrs}
+	t.mu.Lock()
+	s.Phase = t.phase
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.dropped++
+	}
+	t.next++
+	if t.next == cap(t.ring) {
+		t.next = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans in record order (oldest surviving first).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) || t.dropped == 0 {
+		out = append(out, t.ring[:len(t.ring)]...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL writes one JSON object per span:
+//
+//	{"phase":"fig5a","name":"round","start_us":12,"dur_us":345,"attrs":{"asks":4}}
+//
+// start_us/dur_us are microseconds; start is relative to the tracer epoch.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, s := range t.Spans() {
+		bw.WriteString(`{"phase":`)
+		writeJSONString(bw, s.Phase)
+		bw.WriteString(`,"name":`)
+		writeJSONString(bw, s.Name)
+		fmt.Fprintf(bw, `,"start_us":%d,"dur_us":%d`, s.Start.Microseconds(), s.Dur.Microseconds())
+		if len(s.Attrs) > 0 {
+			bw.WriteString(`,"attrs":{`)
+			for i, a := range s.Attrs {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				writeJSONString(bw, a.Key)
+				fmt.Fprintf(bw, `:%d`, a.Val)
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+func writeJSONString(w *bufio.Writer, s string) {
+	w.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			w.WriteString(`\"`)
+		case '\\':
+			w.WriteString(`\\`)
+		case '\n':
+			w.WriteString(`\n`)
+		case '\t':
+			w.WriteString(`\t`)
+		case '\r':
+			w.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(w, `\u%04x`, r)
+			} else {
+				w.WriteRune(r)
+			}
+		}
+	}
+	w.WriteByte('"')
+}
+
+// TraceEntry is one (phase, name) aggregate in a TraceSummary.
+type TraceEntry struct {
+	Phase string
+	Name  string
+	Count int64
+	Total time.Duration
+}
+
+// TraceSummary condenses the ring into per-(phase, name) totals — the form
+// attached to a Result so callers see where a run's time went without
+// holding every span.
+type TraceSummary struct {
+	Entries []TraceEntry
+	Dropped int64 // spans lost to ring wraparound (counts exclude them)
+}
+
+// String renders the summary as an aligned table, one line per entry.
+func (s *TraceSummary) String() string {
+	if s == nil || len(s.Entries) == 0 {
+		return "(no spans)"
+	}
+	var sb strings.Builder
+	for _, e := range s.Entries {
+		name := e.Name
+		if e.Phase != "" {
+			name = e.Phase + "/" + e.Name
+		}
+		fmt.Fprintf(&sb, "%-32s %6d × %12s total\n", name, e.Count, e.Total.Round(time.Microsecond))
+	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(&sb, "(%d spans dropped by ring wraparound)\n", s.Dropped)
+	}
+	return sb.String()
+}
+
+// Summary aggregates the surviving spans by (phase, name), ordered by first
+// appearance of each pair. A nil tracer returns nil.
+func (t *Tracer) Summary() *TraceSummary {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	type key struct{ phase, name string }
+	idx := make(map[key]int)
+	sum := &TraceSummary{Dropped: t.Dropped()}
+	for _, s := range spans {
+		k := key{s.Phase, s.Name}
+		i, ok := idx[k]
+		if !ok {
+			i = len(sum.Entries)
+			idx[k] = i
+			sum.Entries = append(sum.Entries, TraceEntry{Phase: s.Phase, Name: s.Name})
+		}
+		sum.Entries[i].Count++
+		sum.Entries[i].Total += s.Dur
+	}
+	sort.SliceStable(sum.Entries, func(i, j int) bool {
+		if sum.Entries[i].Phase != sum.Entries[j].Phase {
+			return sum.Entries[i].Phase < sum.Entries[j].Phase
+		}
+		return sum.Entries[i].Name < sum.Entries[j].Name
+	})
+	return sum
+}

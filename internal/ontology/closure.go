@@ -44,13 +44,16 @@ func (s *Store) closureOf(pred vocab.TermID) *pathClosure {
 	c := s.closures[pred]
 	s.closeMu.RUnlock()
 	if c != nil {
+		s.closureWarm.Add(1)
 		return c
 	}
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
 	if c = s.closures[pred]; c != nil {
+		s.closureWarm.Add(1)
 		return c
 	}
+	s.closureCold.Add(1)
 	c = s.buildClosure(pred)
 	s.closures[pred] = c
 	return c
@@ -183,6 +186,7 @@ func (s *Store) Reaches(subj, pred, obj vocab.TermID) bool {
 		c := s.closures[pred]
 		s.closeMu.RUnlock()
 		if c != nil {
+			s.closureWarm.Add(1)
 			l := c.fwd[subj]
 			i := sort.Search(len(l), func(i int) bool { return l[i] >= obj })
 			return i < len(l) && l[i] == obj

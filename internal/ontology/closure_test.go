@@ -162,3 +162,35 @@ func TestClosureConcurrentBuild(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestClosureStats pins the cold/warm accounting: the first lookup of a
+// predicate builds its index (cold), every later one is served memoized
+// (warm), and Reaches on an already-built index counts warm too.
+func TestClosureStats(t *testing.T) {
+	s, _, ids := chainStore(t, true)
+	if st := s.ClosureStats(); st.Cold != 0 || st.Warm != 0 {
+		t.Fatalf("fresh store stats: %+v", st)
+	}
+	s.ForwardClosure(ids["a"], ids["sub"])
+	st := s.ClosureStats()
+	if st.Cold != 1 || st.Warm != 0 {
+		t.Fatalf("after first lookup: %+v", st)
+	}
+	s.ForwardClosure(ids["b"], ids["sub"])
+	s.BackwardClosure(ids["d"], ids["sub"])
+	if st = s.ClosureStats(); st.Cold != 1 || st.Warm != 2 {
+		t.Fatalf("after warm lookups: %+v", st)
+	}
+	// Reaches with a built index is a warm binary search.
+	if !s.Reaches(ids["a"], ids["sub"], ids["d"]) {
+		t.Fatal("a should reach d")
+	}
+	if st = s.ClosureStats(); st.Warm != 3 {
+		t.Fatalf("Reaches not counted warm: %+v", st)
+	}
+	// A different predicate builds its own index.
+	s.ClosurePairs(ids["other"])
+	if st = s.ClosureStats(); st.Cold != 2 {
+		t.Fatalf("second predicate not counted cold: %+v", st)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"oassis/internal/vocab"
 )
@@ -37,6 +38,23 @@ type Store struct {
 	closeMu   sync.RWMutex
 	closures  map[vocab.TermID]*pathClosure
 	predStats map[vocab.TermID]predStat
+
+	// Closure index temperature, readable lock-free via ClosureStats():
+	// cold counts index builds, warm counts lookups served memoized.
+	closureCold atomic.Int64
+	closureWarm atomic.Int64
+}
+
+// ClosureCacheStats is a snapshot of the closure index counters.
+type ClosureCacheStats struct {
+	Cold int64 // per-predicate closure indexes built
+	Warm int64 // closure lookups served from the memo
+}
+
+// ClosureStats snapshots how often path-closure lookups hit the memoized
+// index (warm) versus built it (cold).
+func (s *Store) ClosureStats() ClosureCacheStats {
+	return ClosureCacheStats{Cold: s.closureCold.Load(), Warm: s.closureWarm.Load()}
 }
 
 type spKey struct{ a, b vocab.TermID }

@@ -23,12 +23,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"oassis"
 	"oassis/internal/chaos"
+	"oassis/internal/obs"
 )
 
 // Config parameterizes the platform.
@@ -49,11 +51,22 @@ type Config struct {
 	// Chaos tests inject a chaos.VirtualClock to drive the deadline
 	// machinery deterministically.
 	Clock chaos.Clock
+	// Obs, when set, instruments every endpoint (request counters and
+	// latency by path), exposes the registry at GET /metrics, and counts
+	// the platform's question lifecycle (posted, accepted, duplicate,
+	// stale, expired, departed). Share the same observer with the session
+	// (oassis.WithObserver) to scrape engine and platform in one place.
+	Obs *oassis.Observer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints leak heap contents and must be a
+	// deliberate, per-deployment choice.
+	EnablePprof bool
 }
 
 // Server is the running platform.
 type Server struct {
 	cfg Config
+	sm  *obs.ServerMetrics // non-nil; all fields no-ops when unobserved
 
 	mu      sync.Mutex
 	session *oassis.Session
@@ -94,6 +107,7 @@ func New(cfg Config) *Server {
 	}
 	return &Server{
 		cfg:        cfg,
+		sm:         cfg.Obs.ServerSet().OrNop(),
 		members:    make(map[string]*memberSlot),
 		reapNotify: make(chan struct{}, 1),
 		reapStop:   make(chan struct{}),
@@ -133,15 +147,61 @@ func (s *Server) RecordAnswer(text string) {
 	s.mu.Unlock()
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. With Config.Obs every endpoint is wrapped
+// with request counting and latency measurement, and GET /metrics serves the
+// observer's registry as Prometheus text. /debug/pprof/ appears only when
+// Config.EnablePprof is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /join", s.handleJoin)
-	mux.HandleFunc("POST /start", s.handleStart)
-	mux.HandleFunc("GET /question", s.handleQuestion)
-	mux.HandleFunc("POST /answer", s.handleAnswer)
-	mux.HandleFunc("GET /results", s.handleResults)
+	mux.HandleFunc("POST /join", s.instrument("/join", s.handleJoin))
+	mux.HandleFunc("POST /start", s.instrument("/start", s.handleStart))
+	mux.HandleFunc("GET /question", s.instrument("/question", s.handleQuestion))
+	mux.HandleFunc("POST /answer", s.instrument("/answer", s.handleAnswer))
+	mux.HandleFunc("GET /results", s.instrument("/results", s.handleResults))
+	if s.cfg.Obs != nil {
+		mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	}
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request counting and latency
+// measurement on the platform clock. Unobserved servers pass handlers
+// through untouched — zero wrapping, zero overhead.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.Obs == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Clock.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.sm.Request(path, fmt.Sprintf("%d", sw.code), s.cfg.Clock.Now().Sub(start))
+	}
+}
+
+// handleMetrics serves the observer's registry in the Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Obs.Registry.WritePrometheus(w)
 }
 
 // question is one pending question for a member, as served to clients.
@@ -220,6 +280,7 @@ func (s *Server) Post(ask *oassis.Ask, deliver func(oassis.Reply)) {
 		deadline: now.Add(window),
 	}
 	s.mu.Unlock()
+	s.sm.Posted.Inc()
 
 	select {
 	case s.reapNotify <- struct{}{}:
@@ -278,6 +339,8 @@ func (s *Server) expire() {
 	}
 	s.mu.Unlock()
 	for _, pq := range fire {
+		s.sm.Expired.Inc()
+		s.sm.Departed.Inc()
 		pq.deliver(oassis.Reply{Ask: pq.ask, Outcome: oassis.ReplyDeparted, Choice: -1})
 	}
 }
@@ -411,6 +474,9 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		if pq == nil && body.Question == m.lastAnswered && m.lastAnswered != 0 {
 			// Duplicate submission: the first answer won.
 			code = "question already answered"
+			s.sm.Duplicates.Inc()
+		} else {
+			s.sm.Stale.Inc()
 		}
 		s.mu.Unlock()
 		// Stale, out-of-order or duplicate submission: the question is
@@ -421,6 +487,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	m.pending = nil
 	m.lastAnswered = pq.q.ID
 	s.mu.Unlock()
+	s.sm.Accepted.Inc()
 
 	pq.deliver(oassis.Reply{
 		Ask:     pq.ask,

@@ -5,7 +5,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/vocab"
 )
@@ -74,11 +77,15 @@ type op struct {
 	lit     string // opLabel: the literal
 	src     int    // original pattern index in the BGP
 	est     int    // selectivity estimate at planning time (diagnostics)
+	path    string // access path chosen for the bound-shape at this position
+	text    string // rendered source pattern (diagnostics)
 }
 
 // Plan is a compiled BGP: a fixed operator pipeline over dense variable
 // slots. Build one with Evaluator.Compile; run it with Eval. A Plan is
-// immutable and safe for concurrent use.
+// immutable and safe for concurrent use; Observe (called once, before the
+// plan is shared) switches on per-operator cardinality accounting whose
+// counters are atomics, so concurrent Evals stay safe.
 type Plan struct {
 	store    *ontology.Store
 	v        *vocab.Vocabulary
@@ -87,13 +94,46 @@ type Plan struct {
 	vars   []PlanVar
 	slotOf map[string]int
 	ops    []op
+
+	// Observation state (nil/empty when Observe was never called).
+	// actual[i] counts partial rows entering operator i across every Eval;
+	// actual[len(ops)] counts emitted rows (pre-dedup). Per-Eval counting
+	// happens in a plain slice on the exec scratch and is merged here once
+	// per Eval, so the inner matching loops never touch an atomic.
+	metrics *obs.PlanMetrics
+	actual  []atomic.Int64
+	evals   atomic.Int64
+}
+
+// Observe enables per-operator cardinality accounting and, when m is
+// non-nil, reports eval totals to the given metric set. Call it right after
+// Compile, before the plan is shared between goroutines.
+func (pl *Plan) Observe(m *obs.PlanMetrics) {
+	pl.metrics = m
+	if pl.actual == nil {
+		pl.actual = make([]atomic.Int64, len(pl.ops)+1)
+	}
 }
 
 // Compile validates the BGP and lowers it to a Plan. The evaluator's
 // Semantic mode is captured at compile time. The store's contents must be
 // final (normally: frozen) before compiling — selectivity estimates and the
-// closure indexes snapshot it.
+// closure indexes snapshot it. When the evaluator carries a Metrics set the
+// compile is timed and the plan comes back with observation enabled.
 func (e *Evaluator) Compile(bgp BGP) (*Plan, error) {
+	start := time.Now()
+	pl, err := e.compile(bgp)
+	if err != nil {
+		return nil, err
+	}
+	if e.Metrics != nil {
+		e.Metrics.CompileDone(time.Since(start))
+		pl.Observe(e.Metrics)
+	}
+	return pl, nil
+}
+
+func (e *Evaluator) compile(bgp BGP) (*Plan, error) {
 	if err := e.validate(bgp); err != nil {
 		return nil, err
 	}
@@ -120,7 +160,7 @@ func (e *Evaluator) Compile(bgp BGP) (*Plan, error) {
 		// BGP could change the result set, so pin the interpreted
 		// evaluator's selection order exactly.
 		for _, pi := range interpretedOrder(bgp) {
-			pl.lower(bgp[pi], pi, pl.estimate(bgp[pi], bound))
+			pl.lower(bgp[pi], pi, pl.estimate(bgp[pi], bound), bound)
 			pl.markBound(bgp[pi], bound)
 		}
 		return pl, nil
@@ -140,7 +180,7 @@ func (e *Evaluator) Compile(bgp BGP) (*Plan, error) {
 		}
 		pi := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		pl.lower(bgp[pi], pi, bestCost)
+		pl.lower(bgp[pi], pi, bestCost, bound)
 		pl.markBound(bgp[pi], bound)
 	}
 	return pl, nil
@@ -327,8 +367,10 @@ func atLeast1(n int) int {
 	return n
 }
 
-// lower appends the operator for one pattern.
-func (pl *Plan) lower(p Pattern, src, est int) {
+// lower appends the operator for one pattern. bound is the set of slots
+// already bound by earlier operators — it determines the access path the
+// operator will take at runtime, which lower records for Explain.
+func (pl *Plan) lower(p Pattern, src, est int, bound []bool) {
 	o := op{
 		s:   pl.lowerTerm(p.S),
 		p:   pl.lowerTerm(p.P),
@@ -347,7 +389,91 @@ func (pl *Plan) lower(p Pattern, src, est int) {
 	default:
 		o.kind = opTriple
 	}
+	o.path = pl.accessPath(p, o.kind, bound)
+	o.text = pl.patternText(p)
 	pl.ops = append(pl.ops, o)
+}
+
+// accessPath names the store index the operator reads for the bound-shape
+// it runs under — the "index chosen per pattern" line of Explain. The shape
+// is known at planning time: a position is concrete when it is a constant
+// or a variable some earlier operator binds.
+func (pl *Plan) accessPath(p Pattern, kind opKind, bound []bool) string {
+	sRes := pl.resolvedAt(p.S, bound)
+	oRes := pl.resolvedAt(p.O, bound)
+	pRes := pl.resolvedAt(p.P, bound)
+	switch kind {
+	case opLabel:
+		if sRes {
+			return "HasLabel(s,lit)"
+		}
+		return "LabeledElements(lit)"
+	case opStar:
+		switch {
+		case sRes && oRes:
+			return "Reaches(s,p*,o)"
+		case sRes:
+			return "ForwardClosure(s,p*)"
+		case oRes:
+			return "BackwardClosure(p*,o)"
+		default:
+			return "ClosurePairs(p*)"
+		}
+	case opSemTriple:
+		if pRes {
+			return "sem:FactsWithPredicate(p'≥p)"
+		}
+		return "sem:Predicates×Facts"
+	default: // opTriple
+		inner := ""
+		switch {
+		case sRes && oRes:
+			inner = "Has(s,p,o)"
+		case sRes:
+			inner = "Objects(s,p)"
+		case oRes:
+			inner = "Subjects(p,o)"
+		default:
+			inner = "FactsWithPredicate(p)"
+		}
+		if !pRes {
+			return "Predicates→" + inner
+		}
+		return inner
+	}
+}
+
+// patternText renders the source pattern with vocabulary names for Explain.
+func (pl *Plan) patternText(p Pattern) string {
+	var sb strings.Builder
+	sb.WriteString(pl.termText(p.S, vocab.Element))
+	sb.WriteByte(' ')
+	sb.WriteString(pl.termText(p.P, vocab.Relation))
+	if p.Star {
+		sb.WriteByte('*')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(pl.termText(p.O, vocab.Element))
+	return sb.String()
+}
+
+func (pl *Plan) termText(t Term, k vocab.Kind) string {
+	switch t.Kind {
+	case Const:
+		if k == vocab.Relation {
+			if n := pl.v.RelationName(t.ID); n != "" {
+				return n
+			}
+		} else if n := pl.v.ElementName(t.ID); n != "" {
+			return n
+		}
+		return strconv.Itoa(int(t.ID))
+	case Var:
+		return "$" + t.Name
+	case Literal:
+		return strconv.Quote(t.Lit)
+	}
+	return "*"
 }
 
 // Vars returns the plan's variable slots in slot order (sorted by name).
@@ -368,20 +494,91 @@ func (pl *Plan) PatternOrder() []int {
 // execution order, with its selectivity estimate.
 func (pl *Plan) Describe() string {
 	var sb strings.Builder
-	kinds := [...]string{"triple", "star", "label", "sem-triple"}
 	for i, o := range pl.ops {
-		fmt.Fprintf(&sb, "%d: %s pattern#%d est=%d\n", i, kinds[o.kind], o.src, o.est)
+		fmt.Fprintf(&sb, "%d: %s pattern#%d est=%d\n", i, opKindNames[o.kind], o.src, o.est)
+	}
+	return sb.String()
+}
+
+var opKindNames = [...]string{"triple", "star", "label", "sem-triple"}
+
+// OpExplain is one operator's row in an Explain report.
+type OpExplain struct {
+	Op      int    // position in execution order
+	Kind    string // operator kind (triple/star/label/sem-triple)
+	Pattern int    // source pattern index in the BGP
+	Text    string // rendered source pattern
+	Path    string // store index / access path the operator reads
+	Est     int    // planner's selectivity estimate (candidate-set size)
+	// Actuals, populated only when the plan runs with Observe enabled.
+	Evals   int64 // plan evaluations accounted so far
+	RowsIn  int64 // partial rows entering this operator, across all evals
+	RowsOut int64 // partial rows surviving it
+}
+
+// ExplainOps returns the operator table behind Explain — execution order,
+// source pattern, chosen access path, the planner's estimate, and (when the
+// plan was Observed and has run) the actual rows in/out of each operator.
+func (pl *Plan) ExplainOps() []OpExplain {
+	evals := pl.evals.Load()
+	out := make([]OpExplain, len(pl.ops))
+	for i, o := range pl.ops {
+		e := OpExplain{
+			Op:      i,
+			Kind:    opKindNames[o.kind],
+			Pattern: o.src,
+			Text:    o.text,
+			Path:    o.path,
+			Est:     o.est,
+			Evals:   evals,
+		}
+		if pl.actual != nil {
+			e.RowsIn = pl.actual[i].Load()
+			e.RowsOut = pl.actual[i+1].Load()
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// Explain renders the compiled plan as a human-readable table: one line per
+// operator in execution order with the source pattern, the access path the
+// planner chose, the selectivity estimate, and — once the plan has run with
+// observation enabled — the actual per-operator cardinalities, so estimate
+// quality is visible at a glance.
+func (pl *Plan) Explain() string {
+	ops := pl.ExplainOps()
+	var sb strings.Builder
+	mode := "exact"
+	if pl.semantic {
+		mode = "semantic"
+	}
+	fmt.Fprintf(&sb, "plan: %d ops, %d vars, %s mode", len(pl.ops), len(pl.vars), mode)
+	if pl.actual != nil {
+		fmt.Fprintf(&sb, ", %d evals observed", pl.evals.Load())
+	}
+	sb.WriteByte('\n')
+	for _, e := range ops {
+		fmt.Fprintf(&sb, "  #%d %-10s pat#%d  %-28s via %-28s est=%-6d",
+			e.Op, e.Kind, e.Pattern, e.Text, e.Path, e.Est)
+		if pl.actual != nil && e.Evals > 0 {
+			fmt.Fprintf(&sb, " rows_in=%-8d rows_out=%-8d", e.RowsIn, e.RowsOut)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
 
 // exec is the per-Eval scratch state: one reusable row plus the result
-// arena. Rows are copied out of the scratch row only on emit.
+// arena. Rows are copied out of the scratch row only on emit. counts, when
+// non-nil, tallies step entries per operator for this Eval (merged into the
+// plan's atomics once at the end).
 type exec struct {
-	pl    *Plan
-	row   []vocab.TermID
-	arena []vocab.TermID
-	rows  [][]vocab.TermID
+	pl     *Plan
+	row    []vocab.TermID
+	arena  []vocab.TermID
+	rows   [][]vocab.TermID
+	counts []int64
 }
 
 // Eval runs the plan and returns every solution as a row of the plan's
@@ -392,6 +589,12 @@ func (pl *Plan) Eval() *Results {
 	for i := range ex.row {
 		ex.row[i] = freeVal
 	}
+	observing := pl.actual != nil
+	var start time.Time
+	if observing {
+		ex.counts = make([]int64, len(pl.ops)+1)
+		start = time.Now()
+	}
 	pl.step(ex, 0)
 	rows := ex.rows
 	sort.Slice(rows, func(i, j int) bool { return cmpRows(rows[i], rows[j]) < 0 })
@@ -400,6 +603,13 @@ func (pl *Plan) Eval() *Results {
 		if i == 0 || cmpRows(rows[i-1], r) != 0 {
 			dedup = append(dedup, r)
 		}
+	}
+	if observing {
+		for i, c := range ex.counts {
+			pl.actual[i].Add(c)
+		}
+		pl.evals.Add(1)
+		pl.metrics.EvalDone(len(dedup), time.Since(start))
 	}
 	return &Results{vars: pl.vars, rows: dedup}
 }
@@ -453,6 +663,9 @@ func (ex *exec) unset(t planTerm) { ex.row[t.slot] = freeVal }
 
 // step executes operator i and recurses into the rest of the pipeline.
 func (pl *Plan) step(ex *exec, i int) {
+	if ex.counts != nil {
+		ex.counts[i]++
+	}
 	if i == len(pl.ops) {
 		ex.emit()
 		return

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/vocab"
 )
@@ -122,6 +123,10 @@ type Evaluator struct {
 	// Semantic switches validity from exact triple matching to the
 	// implication semantics of Definition 2.5.
 	Semantic bool
+	// Metrics, when set, times Compile calls and enables per-operator
+	// cardinality accounting on every plan this evaluator compiles
+	// (see Plan.Observe). Nil costs nothing.
+	Metrics *obs.PlanMetrics
 }
 
 // NewEvaluator returns an evaluator over the store.

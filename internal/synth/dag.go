@@ -13,6 +13,7 @@ import (
 	"oassis/internal/assign"
 	"oassis/internal/crowd"
 	"oassis/internal/oassisql"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/sparql"
 	"oassis/internal/vocab"
@@ -64,13 +65,19 @@ type DAGConfig struct {
 	Places int
 	// Seed drives all randomness.
 	Seed int64
+	// Obs, when set, observes the DAG's query pipeline (WHERE compile /
+	// eval metrics, eval and space-construction trace spans).
+	Obs *obs.Observer
 }
 
 // DAG is a generated synthetic workload: the assignment space, the planted
 // ground truth and an answer oracle.
 type DAG struct {
-	Space   *assign.Space
-	Query   *oassisql.Query
+	Space *assign.Space
+	Query *oassisql.Query
+	// Plan is the compiled WHERE plan behind Space; with DAGConfig.Obs
+	// set, Plan.Explain reports actual per-operator cardinalities.
+	Plan    *sparql.Plan
 	Vocab   *vocab.Vocabulary
 	Store   *ontology.Store
 	Planted []*assign.Assignment
@@ -155,17 +162,26 @@ func NewDAG(cfg DAGConfig) (*DAG, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := sparql.NewEvaluator(store).Compile(q.Where)
+	ev := sparql.NewEvaluator(store)
+	ev.Metrics = cfg.Obs.PlanSet()
+	tr := cfg.Obs.Trace()
+	plan, err := ev.Compile(q.Where)
 	if err != nil {
 		return nil, err
 	}
-	space, err := assign.NewSpaceFromRows(q, plan.Eval(), nil)
+	evalStart := tr.Begin()
+	rows := plan.Eval()
+	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(rows.Len())})
+	spaceStart := tr.Begin()
+	space, err := assign.NewSpaceFromRows(q, rows, nil)
 	if err != nil {
 		return nil, err
 	}
+	tr.End("space_build", spaceStart, obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
 	d := &DAG{
 		Space: space,
 		Query: q,
+		Plan:  plan,
 		Vocab: v,
 		Store: store,
 		// Item nodes (+ the Stuff cap) times place nodes (+ cap).

@@ -8,6 +8,7 @@ import (
 	"oassis/internal/assign"
 	"oassis/internal/crowd"
 	"oassis/internal/oassisql"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/sparql"
 	"oassis/internal/vocab"
@@ -44,6 +45,10 @@ type DomainConfig struct {
 	Transactions int
 	// Seed drives all randomness.
 	Seed int64
+	// Obs, when set, observes the domain's query pipeline: the WHERE
+	// compile and eval land in the sparql metric family and the eval /
+	// space-construction phases are traced. Nil disables observation.
+	Obs *obs.Observer
 }
 
 // Travel returns the travel-domain configuration: object instances make
@@ -104,6 +109,9 @@ type Domain struct {
 	Store *ontology.Store
 	Query *oassisql.Query
 	Space *assign.Space
+	// Plan is the compiled WHERE plan the space was built from; with
+	// DomainConfig.Obs set, Plan.Explain reports actual cardinalities.
+	Plan *sparql.Plan
 	// Members are the simulated crowd members (exact-scale answers are
 	// bucketed to the UI scale like the real crowd's).
 	Members []crowd.Member
@@ -315,16 +323,25 @@ func (d *Domain) buildQuery(cfg DomainConfig) error {
 	if err != nil {
 		return fmt.Errorf("synth: domain query: %w", err)
 	}
-	plan, err := sparql.NewEvaluator(d.Store).Compile(q.Where)
+	ev := sparql.NewEvaluator(d.Store)
+	ev.Metrics = cfg.Obs.PlanSet()
+	tr := cfg.Obs.Trace()
+	plan, err := ev.Compile(q.Where)
 	if err != nil {
 		return err
 	}
-	space, err := assign.NewSpaceFromRows(q, plan.Eval(), d.MorePool)
+	evalStart := tr.Begin()
+	rows := plan.Eval()
+	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(rows.Len())})
+	spaceStart := tr.Begin()
+	space, err := assign.NewSpaceFromRows(q, rows, d.MorePool)
 	if err != nil {
 		return err
 	}
+	tr.End("space_build", spaceStart, obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
 	d.Query = q
 	d.Space = space
+	d.Plan = plan
 	return nil
 }
 

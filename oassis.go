@@ -42,6 +42,7 @@ import (
 	"oassis/internal/crowd"
 	"oassis/internal/nlgen"
 	"oassis/internal/oassisql"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/rules"
 	"oassis/internal/sparql"
@@ -106,6 +107,20 @@ type (
 	// applying chaos at the event level so every execution mode gets the
 	// same fault coverage.
 	FaultyBroker = chaos.FaultyBroker
+	// Observer bundles the metric registry, the span tracer and every
+	// subsystem metric family; thread one through WithObserver (and the
+	// HTTP server's config) to light up the whole pipeline. Nil disables
+	// observability at the cost of a nil check per event.
+	Observer = obs.Observer
+	// TraceSummary is the per-(phase, name) span aggregate attached to
+	// an observed run's Result.
+	TraceSummary = obs.TraceSummary
+	// SpaceStats snapshots the assignment space's size and its interner /
+	// edge-cache hit counters (see Session.SpaceStats).
+	SpaceStats = assign.SpaceStats
+	// PlanOpExplain describes one operator of a compiled WHERE plan:
+	// pattern, access path, estimated and observed cardinalities.
+	PlanOpExplain = sparql.OpExplain
 )
 
 // Ask kinds and reply outcomes, re-exported for Broker implementations.
@@ -294,6 +309,18 @@ func WithOnMSP(fn func(*Assignment)) Option {
 // sequential, parallel and HTTP drivers.
 func WithTranscript() Option { return func(s *Session) { s.transcript = true } }
 
+// NewObserver returns an Observer with a fresh registry, a default-capacity
+// trace ring and every subsystem metric family registered.
+func NewObserver() *Observer { return obs.New() }
+
+// WithObserver attaches an observer to the session: WHERE compilation and
+// evaluation are timed and counted, the space's interner and edge-cache hit
+// rates are exported as gauges, every engine run feeds kernel and broker
+// metrics plus per-round trace spans, and Result.Trace summarizes where the
+// run's time went. The observer may be shared across sessions (and with an
+// HTTP server) to scrape one registry for the whole process.
+func WithObserver(o *Observer) Option { return func(s *Session) { s.obsv = o } }
+
 // WithClock sets the session's time source (default: the wall clock).
 // Inject a VirtualClock to run slow-member chaos scenarios
 // deterministically in zero wall time.
@@ -317,6 +344,7 @@ type Session struct {
 	store *Ontology
 	query *Query
 	space *assign.Space
+	plan  *sparql.Plan
 
 	seed           int64
 	agg            Aggregator
@@ -331,6 +359,7 @@ type Session struct {
 	answerDeadline time.Duration
 	maxTimeouts    int
 	transcript     bool
+	obsv           *Observer
 
 	renderer *nlgen.Renderer
 }
@@ -344,18 +373,71 @@ func NewSession(store *Ontology, q *Query, opts ...Option) (*Session, error) {
 	}
 	ev := sparql.NewEvaluator(store)
 	ev.Semantic = s.semantic
+	ev.Metrics = s.obsv.PlanSet() // Compile auto-observes the plan
+	tr := s.obsv.Trace()
 	plan, err := ev.Compile(q.Where)
 	if err != nil {
 		return nil, fmt.Errorf("oassis: WHERE compilation: %w", err)
 	}
-	space, err := assign.NewSpaceFromRows(q, plan.Eval(), s.morePool)
+	s.plan = plan
+	evalStart := tr.Begin()
+	rows := plan.Eval()
+	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(rows.Len())})
+	spaceStart := tr.Begin()
+	space, err := assign.NewSpaceFromRows(q, rows, s.morePool)
 	if err != nil {
 		return nil, fmt.Errorf("oassis: assignment space: %w", err)
 	}
 	s.space = space
+	tr.End("space_build", spaceStart,
+		obs.Attr{Key: "nodes", Val: int64(space.NumNodes())},
+		obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
+	s.registerGauges()
 	s.renderer = nlgen.NewRenderer(store.Vocabulary())
 	return s, nil
 }
+
+// registerGauges exports the session's pull-style statistics — the space's
+// interner and edge-cache counters and the ontology's closure-index cold /
+// warm counts — into the observer's registry. Registration is idempotent on
+// metric names; when sessions share an observer, the most recent session's
+// space backs the space gauges.
+func (s *Session) registerGauges() {
+	r := s.obsv.Reg()
+	if r == nil {
+		return
+	}
+	sp, st := s.space, s.store
+	r.GaugeFunc("oassis_space_nodes", "Interned assignment-lattice nodes.",
+		func() float64 { return float64(sp.Stats().Nodes) })
+	r.GaugeFunc("oassis_space_valid", "Valid assignments in the space.",
+		func() float64 { return float64(sp.Stats().Valid) })
+	r.GaugeFunc("oassis_space_intern_hits", "Interner lookups deduplicated to an existing node.",
+		func() float64 { return float64(sp.Stats().InternHits) })
+	r.GaugeFunc("oassis_space_intern_misses", "Interner lookups that created a new node.",
+		func() float64 { return float64(sp.Stats().InternMisses) })
+	r.GaugeFunc("oassis_space_edge_cache_hits", "Successor/predecessor lookups served from the edge cache.",
+		func() float64 { return float64(sp.Stats().EdgeHits) })
+	r.GaugeFunc("oassis_space_edge_cache_misses", "Successor/predecessor lists computed on a cache miss.",
+		func() float64 { return float64(sp.Stats().EdgeMisses) })
+	r.GaugeFunc("oassis_ontology_closure_cold", "Transitive-closure indexes built (cold lookups).",
+		func() float64 { return float64(st.ClosureStats().Cold) })
+	r.GaugeFunc("oassis_ontology_closure_warm", "Closure lookups served from a built index.",
+		func() float64 { return float64(st.ClosureStats().Warm) })
+}
+
+// SpaceStats snapshots the assignment space: node and valid-assignment
+// counts plus interner and edge-cache hit/miss counters.
+func (s *Session) SpaceStats() SpaceStats { return s.space.Stats() }
+
+// PlanExplain renders the compiled WHERE plan: one line per operator with
+// its source pattern, chosen access path and estimated cardinality — plus
+// observed per-operator row counts once the session was built with an
+// observer (the WHERE evaluation that constructs the space feeds them).
+func (s *Session) PlanExplain() string { return s.plan.Explain() }
+
+// PlanOps returns the structured form of PlanExplain.
+func (s *Session) PlanOps() []PlanOpExplain { return s.plan.ExplainOps() }
 
 // ValidAssignments returns |𝒜valid|, the number of valid assignments the
 // WHERE clause produced (projected onto the mining variables).
@@ -440,6 +522,7 @@ func (s *Session) engineConfig(n int) core.EngineConfig {
 		MaxAnswerTimeouts:     s.maxTimeouts,
 		Clock:                 s.clock,
 		RecordTranscript:      s.transcript,
+		Obs:                   s.obsv,
 	}
 }
 
@@ -496,6 +579,7 @@ func (s *Session) RunSingle(m Member, strategy Strategy) (*Result, error) {
 		Seed:                s.seed,
 		MaxMSPs:             maxMSPs,
 		OnMSP:               s.onMSP,
+		Obs:                 s.obsv,
 	}
 	res := run.Run()
 	s.applyLimit(res)

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Gate the observability layer's zero-overhead contract.
+#
+#   check_obs_overhead.sh bench-disabled.txt bench-enabled.txt BENCH_PR5.json
+#
+# bench-disabled.txt / bench-enabled.txt are `go test -bench
+# BenchmarkEngineThroughput` outputs with OASSIS_BENCH_OBS unset and =1
+# respectively. The disabled-mode questions/s must stay within 3% of the
+# recorded baseline in BENCH_PR5.json ("disabled_questions_per_s"); the
+# enabled-mode overhead is reported but not gated — an attached Observer is
+# allowed to cost something, an absent one is not.
+#
+# The baseline is machine-dependent: re-record BENCH_PR5.json when the CI
+# runner class changes, or override with OBS_BASELINE_QPS for local runs.
+set -eu
+
+disabled_file=$1
+enabled_file=$2
+baseline_file=$3
+
+# Best of N runs: scheduler noise only ever subtracts throughput, so the
+# fastest run is the closest to the machine's true capability.
+qps() {
+	awk '/^BenchmarkEngineThroughput/ {
+		for (i = 1; i < NF; i++) if ($(i+1) == "questions/s" && $i > best) { best = $i; n++ }
+	} END { if (n == 0) exit 1; printf "%.0f\n", best }' "$1"
+}
+
+disabled=$(qps "$disabled_file") || { echo "no questions/s in $disabled_file" >&2; exit 1; }
+enabled=$(qps "$enabled_file") || { echo "no questions/s in $enabled_file" >&2; exit 1; }
+baseline=${OBS_BASELINE_QPS:-$(sed -n 's/.*"disabled_questions_per_s": *\([0-9][0-9]*\).*/\1/p' "$baseline_file" | head -1)}
+if [ -z "$baseline" ]; then
+	echo "no disabled_questions_per_s baseline in $baseline_file" >&2
+	exit 1
+fi
+
+echo "engine throughput: disabled=${disabled} q/s  enabled=${enabled} q/s  baseline=${baseline} q/s"
+awk -v e="$enabled" -v d="$disabled" 'BEGIN {
+	if (d > 0) printf "observer overhead when enabled: %.1f%%\n", 100 * (1 - e / d)
+}'
+
+awk -v d="$disabled" -v b="$baseline" 'BEGIN {
+	floor = b * 0.97
+	if (d < floor) {
+		printf "FAIL: disabled-mode throughput %.0f q/s is below 97%% of baseline (%.0f q/s)\n", d, floor
+		exit 1
+	}
+	printf "OK: disabled-mode throughput within 3%% of baseline (floor %.0f q/s)\n", floor
+}'
