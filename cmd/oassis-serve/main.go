@@ -35,19 +35,40 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		metrics      = flag.Bool("metrics", false, "serve Prometheus metrics on GET /metrics")
 		pprofFlag    = flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof (off by default: profiles expose heap contents)")
+		sharedStore  = flag.Bool("shared-store", false, "share a cross-query answer store: repeated questions are served from cached crowd answers instead of re-asked, across every run this process serves")
+		storeTTL     = flag.Duration("store-ttl", 0, "shared-store answer freshness window; stale answers are re-asked (0 = answers never expire)")
+		storeMax     = flag.Int("store-max", 0, "shared-store size bound with LRU eviction (0 = unbounded)")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || *queryPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*ontologyPath, *queryPath, *addr, *minMembers, *k, *timeout, *seed, *metrics, *pprofFlag); err != nil {
+	cfg := serveConfig{
+		minMembers: *minMembers, k: *k, timeout: *timeout, seed: *seed,
+		metrics: *metrics, pprof: *pprofFlag,
+		sharedStore: *sharedStore, storeTTL: *storeTTL, storeMax: *storeMax,
+	}
+	if err := run(*ontologyPath, *queryPath, *addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.Duration, seed int64, metrics, pprofOn bool) error {
+// serveConfig carries the flag-derived server parameters.
+type serveConfig struct {
+	minMembers  int
+	k           int
+	timeout     time.Duration
+	seed        int64
+	metrics     bool
+	pprof       bool
+	sharedStore bool
+	storeTTL    time.Duration
+	storeMax    int
+}
+
+func run(ontologyPath, queryPath, addr string, cfg serveConfig) error {
 	_, store, err := oassis.LoadOntologyFile(ontologyPath)
 	if err != nil {
 		return err
@@ -64,26 +85,41 @@ func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.D
 	// and space metrics, the platform feeds it HTTP and lifecycle
 	// counters, and GET /metrics exposes the union.
 	var o *oassis.Observer
-	if metrics {
+	if cfg.metrics {
 		o = oassis.NewObserver()
 	}
+	// Shared-store mode: a long-lived answer platform outlives any one
+	// run, so a re-attached query (or one served concurrently elsewhere
+	// in the process) reuses the crowd's answers instead of re-asking.
+	// Its cross-query hit/miss counters land on the same obs registry.
+	var answerStore *oassis.Platform
+	if cfg.sharedStore {
+		answerStore = oassis.NewPlatform(oassis.PlatformConfig{
+			TTL:        cfg.storeTTL,
+			MaxEntries: cfg.storeMax,
+			Obs:        o,
+		})
+	}
 	srv := server.New(server.Config{
-		MinMembers:    minMembers,
-		AnswerTimeout: timeout,
+		MinMembers:    cfg.minMembers,
+		AnswerTimeout: cfg.timeout,
 		Obs:           o,
-		EnablePprof:   pprofOn,
+		EnablePprof:   cfg.pprof,
 	})
 	// The server drives the kernel through its own event broker
 	// (Session.RunBroker); WithParallelism only applies to the in-process
 	// RunCrowd/RunParallel drivers and is not needed here.
 	opts := []oassis.Option{
-		oassis.WithSeed(seed),
+		oassis.WithSeed(cfg.seed),
 	}
 	if o != nil {
 		opts = append(opts, oassis.WithObserver(o))
 	}
-	if k > 0 {
-		opts = append(opts, oassis.WithAggregator(oassis.NewMeanAggregator(k, q.Satisfying.Support)))
+	if answerStore != nil {
+		opts = append(opts, oassis.WithPlatform(answerStore))
+	}
+	if cfg.k > 0 {
+		opts = append(opts, oassis.WithAggregator(oassis.NewMeanAggregator(cfg.k, q.Satisfying.Support)))
 	}
 	var sess *oassis.Session
 	opts = append(opts, oassis.WithOnMSP(func(a *oassis.Assignment) {
@@ -100,10 +136,13 @@ func run(ontologyPath, queryPath, addr string, minMembers, k int, timeout time.D
 	fmt.Printf("oassis-serve: query with %d valid assignments, threshold %.2f\n",
 		sess.ValidAssignments(), sess.Theta())
 	fmt.Printf("oassis-serve: listening on %s (POST /join, then /start)\n", addr)
-	if metrics {
+	if answerStore != nil {
+		fmt.Printf("oassis-serve: shared answer store enabled (ttl=%v, max=%d)\n", cfg.storeTTL, cfg.storeMax)
+	}
+	if cfg.metrics {
 		fmt.Printf("oassis-serve: metrics on GET %s/metrics\n", addr)
 	}
-	if pprofOn {
+	if cfg.pprof {
 		fmt.Printf("oassis-serve: profiling on %s/debug/pprof/\n", addr)
 	}
 	return http.ListenAndServe(addr, srv.Handler())

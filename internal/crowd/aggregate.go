@@ -258,6 +258,26 @@ func (t *TrustWeightedAggregator) Support(key assign.NodeID) float64 {
 	return sum / wsum
 }
 
+// Resetter is an optional Aggregator extension: Reset discards every
+// recorded answer so the next run starts fresh. Session drivers reset
+// their aggregator at the start of each run, making a Session re-runnable
+// (a long-lived server restarts the same query against the same crowd —
+// often behind a shared answer store — and must get an independent run,
+// not one pre-decided by the previous run's answers).
+type Resetter interface {
+	Reset()
+}
+
+// Reset implements Resetter.
+func (m *MeanAggregator) Reset() { clear(m.answers) }
+
+// Reset implements Resetter.
+func (m *MajorityAggregator) Reset() { clear(m.votes) }
+
+// Reset implements Resetter. Member trust weights are kept — trust is
+// crowd state, not run state.
+func (t *TrustWeightedAggregator) Reset() { clear(t.answers) }
+
 // QuotaCarrier is an optional Aggregator extension exposing how many
 // answers the aggregator wants per assignment before it decides. The
 // mining kernel uses it to stop over-assigning one assignment within a

@@ -1,0 +1,64 @@
+package crowd
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"oassis/internal/ontology"
+)
+
+// QuestionKey returns a canonical identity for the question content of an
+// Ask — what is being asked, independent of the addressed member, the ask
+// ID and (for specializations) the order the candidate options happened to
+// be enumerated in. Two Asks with equal keys pose the same question, so a
+// crowd answer to one is a crowd answer to the other; this is the identity
+// the cross-query answer platform dedupes on.
+//
+// For a SpecializeAsk the returned permutation maps canonical option
+// positions back to the ask's own: perm[j] is the index into a.Options of
+// the j-th option in canonical (sorted-key) order. A stored choice is kept
+// in canonical terms and translated through each consumer's permutation,
+// so queries that enumerate the same candidate set in different orders
+// still exchange answers. The permutation is nil for a ConcreteAsk.
+func QuestionKey(a *Ask) (string, []int) {
+	switch a.Kind {
+	case SpecializeAsk:
+		keys := make([]string, len(a.Options))
+		for i, c := range a.Options {
+			keys[i] = factSetKey(c)
+		}
+		perm := make([]int, len(keys))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(i, j int) bool { return keys[perm[i]] < keys[perm[j]] })
+		var sb strings.Builder
+		sb.WriteString("s|")
+		sb.WriteString(factSetKey(a.Base))
+		sb.WriteByte('|')
+		for _, i := range perm {
+			sb.WriteString(keys[i])
+			sb.WriteByte(';')
+		}
+		return sb.String(), perm
+	default:
+		return "c|" + factSetKey(a.Target), nil
+	}
+}
+
+// factSetKey renders a canonical fact-set (NewFactSet sorts and dedupes)
+// as a compact string identity over interned term IDs. Keys are only
+// comparable between fact-sets drawn from the same vocabulary.
+func factSetKey(fs ontology.FactSet) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString(strconv.FormatUint(uint64(f.S), 10))
+		sb.WriteByte('.')
+		sb.WriteString(strconv.FormatUint(uint64(f.P), 10))
+		sb.WriteByte('.')
+		sb.WriteString(strconv.FormatUint(uint64(f.O), 10))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}

@@ -204,6 +204,45 @@ func (m *ServerMetrics) Request(path, code string, dur time.Duration) {
 	m.ReqDur.With(path).Observe(dur.Seconds())
 }
 
+// PlatformMetrics instruments the cross-query answer platform: store
+// lookups by outcome (hit / miss / in-flight join), freshness expirations,
+// LRU evictions and the store / attached-session gauges. A nil
+// *PlatformMetrics is a no-op on every method.
+type PlatformMetrics struct {
+	Hits     *Counter
+	Misses   *Counter
+	Joins    *Counter
+	Expired  *Counter
+	Evicted  *Counter
+	Entries  *Gauge
+	Sessions *Gauge
+}
+
+// NewPlatformMetrics registers the answer-platform metric family in r.
+func NewPlatformMetrics(r *Registry) *PlatformMetrics {
+	return &PlatformMetrics{
+		Hits:     r.Counter("oassis_platform_store_hits_total", "Questions served from the shared answer store."),
+		Misses:   r.Counter("oassis_platform_store_misses_total", "Questions forwarded to the crowd (store misses)."),
+		Joins:    r.Counter("oassis_platform_dedup_joins_total", "Questions deduplicated onto an identical in-flight ask."),
+		Expired:  r.Counter("oassis_platform_store_expired_total", "Cached answers discarded as stale (TTL exceeded)."),
+		Evicted:  r.Counter("oassis_platform_store_evicted_total", "Cached answers evicted by the LRU size bound."),
+		Entries:  r.Gauge("oassis_platform_store_entries", "Answers currently held by the shared store."),
+		Sessions: r.Gauge("oassis_platform_sessions", "Query sessions currently attached to the platform."),
+	}
+}
+
+// nopPlatformMetrics backs the PlatformMetrics OrNop.
+var nopPlatformMetrics = &PlatformMetrics{}
+
+// OrNop returns m, or a shared all-nil-field set when m is nil, so platform
+// call sites can touch counter fields without per-site guards.
+func (m *PlatformMetrics) OrNop() *PlatformMetrics {
+	if m == nil {
+		return nopPlatformMetrics
+	}
+	return m
+}
+
 // Observer bundles a Registry, a Tracer and every subsystem metric set —
 // the single handle threaded through the engine via oassis.WithObserver /
 // core.EngineConfig.Obs / server.Config.Obs. A nil *Observer disables
@@ -213,10 +252,11 @@ type Observer struct {
 	Registry *Registry
 	Tracer   *Tracer
 
-	Kernel *KernelMetrics
-	Broker *BrokerMetrics
-	Plan   *PlanMetrics
-	Server *ServerMetrics
+	Kernel   *KernelMetrics
+	Broker   *BrokerMetrics
+	Plan     *PlanMetrics
+	Server   *ServerMetrics
+	Platform *PlatformMetrics
 }
 
 // New returns an Observer with a fresh registry, a default-capacity tracer,
@@ -235,6 +275,7 @@ func NewWithCapacity(spans int) *Observer {
 		Broker:   NewBrokerMetrics(r),
 		Plan:     NewPlanMetrics(r),
 		Server:   NewServerMetrics(r),
+		Platform: NewPlatformMetrics(r),
 	}
 }
 
@@ -268,6 +309,14 @@ func (o *Observer) ServerSet() *ServerMetrics {
 		return nil
 	}
 	return o.Server
+}
+
+// PlatformSet returns the answer-platform metrics (nil for a nil observer).
+func (o *Observer) PlatformSet() *PlatformMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Platform
 }
 
 // Trace returns the tracer (nil for a nil observer).

@@ -1,0 +1,306 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oassis"
+	"oassis/internal/paperdata"
+	"oassis/internal/server"
+)
+
+// These tests pin the server half of the shared answer platform: one
+// long-lived oassis-serve process re-Attaches query after query against
+// the same joined crowd, and with a shared store a repeated query is
+// answered wholly from cached crowd answers — zero questions reach the
+// HTTP members — while /results stays byte-identical.
+
+// platformMembers builds the paper's two Table-3 members with noise
+// disabled, so their answers are pure functions of the question and any
+// clone with the same seed answers identically.
+func platformMembers(v *oassis.Vocabulary) (*oassis.SimMember, *oassis.SimMember) {
+	du1, du2 := paperdata.Table3(v)
+	m1 := oassis.NewSimMember("u1", v, du1, 1)
+	m2 := oassis.NewSimMember("u2", v, du2, 2)
+	m1.Scale = nil
+	m2.Scale = nil
+	return m1, m2
+}
+
+func platformSession(t *testing.T, srv *server.Server, store *oassis.Ontology, q *oassis.Query, p *oassis.Platform) *oassis.Session {
+	t.Helper()
+	var sess *oassis.Session
+	sess, err := oassis.NewSession(store, q,
+		oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(2, q.Satisfying.Support)),
+		oassis.WithTranscript(),
+		oassis.WithPlatform(p),
+		oassis.WithOnMSP(func(a *oassis.Assignment) {
+			srv.RecordAnswer(sess.DescribeAssignment(a))
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// resultsOf fetches the final /results answer list.
+func resultsOf(t *testing.T, c *client) []string {
+	t.Helper()
+	resp, body := c.do("GET", "/results", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Done    bool     `json:"done"`
+		Answers []string `json:"answers"`
+		Error   string   `json:"error"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "" {
+		t.Fatalf("run error: %s", out.Error)
+	}
+	if !out.Done {
+		t.Fatal("results fetched before the run completed")
+	}
+	return out.Answers
+}
+
+func awaitResult(t *testing.T, srv *server.Server) *oassis.Result {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Result() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server run did not complete in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return srv.Result()
+}
+
+func mspKeys(res *oassis.Result) []string {
+	keys := make([]string, len(res.MSPs))
+	for i, m := range res.MSPs {
+		keys[i] = m.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestServerPlatformRerunServedFromStore runs the same query twice on one
+// server process backed by a shared store. The first run is answered by
+// HTTP members; the second run — launched by re-Attaching a fresh session
+// and POSTing /start again — must complete without a single question
+// reaching the crowd, with /results and the per-member transcripts
+// byte-identical to the first run.
+func TestServerPlatformRerunServedFromStore(t *testing.T) {
+	v, store, err := oassis.LoadOntology(strings.NewReader(paperdata.OntologyText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := oassis.ParseQuery(paperdata.SimpleQueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := oassis.NewPlatform(oassis.PlatformConfig{})
+	srv := server.New(server.Config{MinMembers: 2, AnswerTimeout: 10 * time.Second})
+	srv.Attach(platformSession(t, srv, store, q, p))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	m1, m2 := platformMembers(v)
+	clients := []*client{
+		{t: t, base: ts.URL, id: "u1", member: m1, v: v},
+		{t: t, base: ts.URL, id: "u2", member: m2, v: v},
+	}
+	for _, c := range clients {
+		if resp, body := c.do("POST", "/join?member="+c.id, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("join: %d %s", resp.StatusCode, body)
+		}
+	}
+	if resp, body := clients[0].do("POST", "/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("start: %d %s", resp.StatusCode, body)
+	}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go c.serve(&wg)
+	}
+	res1 := awaitResult(t, srv)
+	wg.Wait()
+	answers1 := resultsOf(t, clients[0])
+	if len(answers1) == 0 {
+		t.Fatal("first run found no answers")
+	}
+	st1 := p.Stats()
+	if st1.Misses == 0 {
+		t.Fatal("first run never reached the crowd")
+	}
+
+	// Second run: same query, fresh session, same store. No client polls
+	// for questions — every ask must be a store hit, so the run completes
+	// purely from cached crowd answers.
+	srv.Attach(platformSession(t, srv, store, q, p))
+	if resp, body := clients[0].do("POST", "/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second start: %d %s", resp.StatusCode, body)
+	}
+	res2 := awaitResult(t, srv)
+	answers2 := resultsOf(t, clients[0])
+
+	st2 := p.Stats()
+	if st2.Misses != st1.Misses {
+		t.Errorf("second run asked the crowd %d new questions, want 0", st2.Misses-st1.Misses)
+	}
+	if st2.Hits <= st1.Hits {
+		t.Error("second run recorded no store hits")
+	}
+	if !reflect.DeepEqual(answers1, answers2) {
+		t.Errorf("/results diverged across reruns:\n%v\nvs\n%v", answers1, answers2)
+	}
+	if !reflect.DeepEqual(mspKeys(res1), mspKeys(res2)) {
+		t.Error("MSP sets diverged across reruns")
+	}
+	if !reflect.DeepEqual(res1.Transcripts, res2.Transcripts) {
+		t.Errorf("transcripts diverged across reruns:\n%v\nvs\n%v", res1.Transcripts, res2.Transcripts)
+	}
+
+	// Third run: a bare POST /start with no re-Attach (the oassis-serve
+	// path: one long-lived process, /start repeated). The completed run
+	// is reset in place and the attached session re-runs from the store.
+	if resp, body := clients[0].do("POST", "/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("third start: %d %s", resp.StatusCode, body)
+	}
+	awaitResult(t, srv)
+	answers3 := resultsOf(t, clients[0])
+	st3 := p.Stats()
+	if st3.Misses != st2.Misses {
+		t.Errorf("restarted run asked the crowd %d new questions, want 0", st3.Misses-st2.Misses)
+	}
+	if !reflect.DeepEqual(answers1, answers3) {
+		t.Errorf("/results diverged on bare restart:\n%v\nvs\n%v", answers1, answers3)
+	}
+}
+
+// TestServerPlatformAttachDetachMidRun is the PR 2 regression under
+// multi-tenancy: while the HTTP server drives a run, in-process sessions
+// attach to and detach from the same platform mid-run. The server's
+// /results and transcripts must stay exactly what a standalone run
+// produces — concurrent tenants may only change WHO answers a question
+// (cache vs crowd), never WHAT the answer is.
+func TestServerPlatformAttachDetachMidRun(t *testing.T) {
+	v, store, err := oassis.LoadOntology(strings.NewReader(paperdata.OntologyText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := oassis.ParseQuery(paperdata.SimpleQueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Standalone reference: the same session config, no platform, fresh
+	// pure members.
+	refSess, err := oassis.NewSession(store, q,
+		oassis.WithSeed(1),
+		oassis.WithAggregator(oassis.NewMeanAggregator(2, q.Satisfying.Support)),
+		oassis.WithTranscript(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm1, rm2 := platformMembers(v)
+	refRes, err := refSess.Run([]oassis.Member{rm1, rm2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refKeys := mspKeys(refRes)
+
+	p := oassis.NewPlatform(oassis.PlatformConfig{})
+	srv := server.New(server.Config{MinMembers: 2, AnswerTimeout: 10 * time.Second})
+	srv.Attach(platformSession(t, srv, store, q, p))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	m1, m2 := platformMembers(v)
+	clients := []*client{
+		{t: t, base: ts.URL, id: "u1", member: m1, v: v},
+		{t: t, base: ts.URL, id: "u2", member: m2, v: v},
+	}
+	for _, c := range clients {
+		if resp, body := c.do("POST", "/join?member="+c.id, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("join: %d %s", resp.StatusCode, body)
+		}
+	}
+
+	// Tenants: in-process sessions over clones of the same members (same
+	// ids, same seeds — they answer identically), racing the HTTP run and
+	// detaching as they finish.
+	const tenants = 3
+	var tw sync.WaitGroup
+	tenantRes := make([]*oassis.Result, tenants)
+	tenantErr := make([]error, tenants)
+	for i := 0; i < tenants; i++ {
+		tm1, tm2 := platformMembers(v)
+		sess, err := oassis.NewSession(store, q,
+			oassis.WithSeed(1),
+			oassis.WithAggregator(oassis.NewMeanAggregator(2, q.Satisfying.Support)),
+			oassis.WithTranscript(),
+			oassis.WithPlatform(p),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw.Add(1)
+		go func(i int, sess *oassis.Session) {
+			defer tw.Done()
+			tenantRes[i], tenantErr[i] = sess.Run([]oassis.Member{tm1, tm2})
+		}(i, sess)
+	}
+
+	if resp, body := clients[0].do("POST", "/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("start: %d %s", resp.StatusCode, body)
+	}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go c.serve(&wg)
+	}
+	res := awaitResult(t, srv)
+	wg.Wait()
+	tw.Wait()
+
+	if !reflect.DeepEqual(mspKeys(res), refKeys) {
+		t.Errorf("server MSP set diverged from standalone:\n%v\nvs\n%v", mspKeys(res), refKeys)
+	}
+	if !reflect.DeepEqual(res.Transcripts, refRes.Transcripts) {
+		t.Errorf("server transcripts diverged from standalone:\n%v\nvs\n%v",
+			res.Transcripts, refRes.Transcripts)
+	}
+	for i := 0; i < tenants; i++ {
+		if tenantErr[i] != nil {
+			t.Fatalf("tenant %d: %v", i, tenantErr[i])
+		}
+		if !reflect.DeepEqual(mspKeys(tenantRes[i]), refKeys) {
+			t.Errorf("tenant %d MSP set diverged from standalone", i)
+		}
+		if !reflect.DeepEqual(tenantRes[i].Transcripts, refRes.Transcripts) {
+			t.Errorf("tenant %d transcripts diverged from standalone", i)
+		}
+	}
+	if st := p.Stats(); st.Sessions != 0 {
+		t.Errorf("sessions gauge = %d after all runs detached, want 0", st.Sessions)
+	}
+	// /results order is pinned deterministic even under multi-tenancy.
+	if answers := resultsOf(t, clients[0]); len(answers) == 0 {
+		t.Fatal("no answers streamed to /results")
+	}
+}

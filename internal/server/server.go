@@ -114,11 +114,32 @@ func New(cfg Config) *Server {
 	}
 }
 
-// Attach installs the session the platform evaluates.
+// Attach installs the session the platform evaluates. After a run has
+// completed, Attach may be called again with the next query: the run
+// state (results, answers, question slots) is reset while the joined
+// crowd is kept, so one long-lived server — typically backed by a shared
+// cross-query answer store via oassis.WithPlatform — serves query after
+// query against the same members, and /start launches each in turn.
 func (s *Server) Attach(session *oassis.Session) {
 	s.mu.Lock()
+	if s.done {
+		s.resetRunLocked()
+	}
 	s.session = session
 	s.mu.Unlock()
+}
+
+// resetRunLocked clears a completed run so the next /start launches a
+// fresh one. Members stay joined; question IDs keep increasing so a
+// stale answer from a past run can never match a new question.
+func (s *Server) resetRunLocked() {
+	s.started, s.done = false, false
+	s.result, s.runErr = nil, nil
+	s.msps = nil
+	for _, m := range s.members {
+		m.pending, m.gone = nil, false
+	}
+	s.reapStop = make(chan struct{})
 }
 
 // attached returns the session installed with Attach.
@@ -291,8 +312,9 @@ func (s *Server) Post(ask *oassis.Ask, deliver func(oassis.Reply)) {
 // reap is the single deadline watchdog: it sleeps until the earliest
 // pending deadline, expires overdue questions into departure events, and
 // re-arms. It replaces the per-member goroutines the mailbox design
-// parked in blocking Ask* calls.
-func (s *Server) reap() {
+// parked in blocking Ask* calls. stop is this run's stop channel — each
+// /start launches a fresh reaper bound to its own run.
+func (s *Server) reap(stop <-chan struct{}) {
 	for {
 		s.mu.Lock()
 		var next time.Time
@@ -307,7 +329,7 @@ func (s *Server) reap() {
 			select {
 			case <-s.reapNotify:
 				continue
-			case <-s.reapStop:
+			case <-stop:
 				return
 			}
 		}
@@ -316,7 +338,7 @@ func (s *Server) reap() {
 			case <-s.cfg.Clock.After(d):
 			case <-s.reapNotify:
 				continue
-			case <-s.reapStop:
+			case <-stop:
 				return
 			}
 		}
@@ -368,9 +390,17 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.started {
-		s.mu.Unlock()
-		http.Error(w, "already started", http.StatusConflict)
-		return
+		if !s.done {
+			s.mu.Unlock()
+			http.Error(w, "already started", http.StatusConflict)
+			return
+		}
+		// The previous run finished: /start again re-runs the attached
+		// query against the same joined crowd. Behind a shared answer
+		// store (oassis.WithPlatform) the re-run is served from cached
+		// crowd answers. /results is kept until this point — a restart,
+		// not completion, discards the previous run's feed.
+		s.resetRunLocked()
 	}
 	if len(s.members) < s.cfg.MinMembers {
 		n := len(s.members)
@@ -391,9 +421,10 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	stop := s.reapStop
 	s.mu.Unlock()
 
-	go s.reap()
+	go s.reap(stop)
 	go func() {
 		res, err := sess.RunBroker(ids, s)
 		s.mu.Lock()
@@ -401,7 +432,7 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		s.result = res
 		s.runErr = err
 		s.mu.Unlock()
-		close(s.reapStop)
+		close(stop)
 	}()
 	writeJSON(w, map[string]any{"started": true, "members": len(ids)})
 }

@@ -44,6 +44,7 @@ import (
 	"oassis/internal/oassisql"
 	"oassis/internal/obs"
 	"oassis/internal/ontology"
+	"oassis/internal/platform"
 	"oassis/internal/rules"
 	"oassis/internal/sparql"
 	"oassis/internal/vocab"
@@ -121,6 +122,20 @@ type (
 	// PlanOpExplain describes one operator of a compiled WHERE plan:
 	// pattern, access path, estimated and observed cardinalities.
 	PlanOpExplain = sparql.OpExplain
+	// Platform is the cross-query answer platform: a long-lived,
+	// concurrent answer store shared by all sessions of a process, with
+	// in-flight question dedup and freshness-based eviction (the
+	// Section 6.3 CrowdCache generalized to multi-tenant serving).
+	Platform = platform.Platform
+	// PlatformConfig parameterizes a Platform (TTL, LRU bound, clock,
+	// observer).
+	PlatformConfig = platform.Config
+	// PlatformStats snapshots a Platform's hit/miss/join/expiry counters.
+	PlatformStats = platform.Stats
+	// PlatformConn is one session's connection to a Platform; Session
+	// manages its own conns, but brokers can also be wrapped directly
+	// with (*Platform).Attach.
+	PlatformConn = platform.Conn
 )
 
 // Ask kinds and reply outcomes, re-exported for Broker implementations.
@@ -251,6 +266,12 @@ func NewMajorityAggregator(k int, theta float64) Aggregator {
 // (*CrowdCache).Wrap to replay answers across thresholds.
 func NewCrowdCache() *CrowdCache { return core.NewCrowdCache() }
 
+// NewPlatform builds an empty cross-query answer platform. Share one
+// Platform across every session (and every HTTP server) of a process whose
+// queries are posed over the same vocabulary; attach sessions to it with
+// WithPlatform.
+func NewPlatform(cfg PlatformConfig) *Platform { return platform.New(cfg) }
+
 // LoadCrowdCache restores a cache snapshot written by (*CrowdCache).Save,
 // verifying it was collected under the same vocabulary.
 func LoadCrowdCache(r io.Reader, v *Vocabulary) (*CrowdCache, error) {
@@ -321,6 +342,18 @@ func NewObserver() *Observer { return obs.New() }
 // HTTP server) to scrape one registry for the whole process.
 func WithObserver(o *Observer) Option { return func(s *Session) { s.obsv = o } }
 
+// WithPlatform attaches the session to a shared cross-query answer
+// platform: every crowd question is first looked up in the platform's
+// store (a cached answer is replayed without re-asking), identical
+// questions posed by concurrently running sessions are deduplicated onto
+// one in-flight ask, and fresh answers feed the store for later queries.
+// Run and RunBroker route through the platform; without this option the
+// standalone paths are untouched. Because every session attached to a
+// platform may resolve asks posted by other sessions' goroutines,
+// WithParallelism is ignored on the platform path — the broker driver is
+// used, which is inherently concurrent across sessions.
+func WithPlatform(p *Platform) Option { return func(s *Session) { s.platform = p } }
+
 // WithClock sets the session's time source (default: the wall clock).
 // Inject a VirtualClock to run slow-member chaos scenarios
 // deterministically in zero wall time.
@@ -360,6 +393,7 @@ type Session struct {
 	maxTimeouts    int
 	transcript     bool
 	obsv           *Observer
+	platform       *Platform
 
 	renderer *nlgen.Renderer
 }
@@ -463,6 +497,9 @@ func (s *Session) Run(members []Member) (*Result, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("oassis: no crowd members")
 	}
+	if s.platform != nil {
+		return s.runPlatform(members)
+	}
 	eng := core.NewEngine(s.space, members, s.engineConfig(len(members)))
 	var res *Result
 	if s.workers > 1 {
@@ -470,6 +507,30 @@ func (s *Session) Run(members []Member) (*Result, error) {
 	} else {
 		res = eng.Run()
 	}
+	s.applyLimit(res)
+	return res, nil
+}
+
+// runPlatform drives the run through the shared answer platform: the
+// in-process member broker is wrapped with a platform connection (store
+// lookups, in-flight dedup), and the broker driver folds the replies —
+// it tolerates replies resolved on other sessions' goroutines, which is
+// exactly what a deduplicated ask does.
+func (s *Session) runPlatform(members []Member) (*Result, error) {
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = m.ID()
+	}
+	clock := s.clock
+	if clock == nil {
+		clock = chaos.Real()
+	}
+	b := crowd.NewMemberBroker(members, clock.Now)
+	b.Metrics = s.obsv.BrokerSet()
+	conn := s.platform.Attach(b)
+	defer conn.Detach()
+	eng := core.NewBrokerEngine(s.space, ids, s.engineConfig(len(members)))
+	res := eng.RunWith(conn)
 	s.applyLimit(res)
 	return res, nil
 }
@@ -488,6 +549,11 @@ func (s *Session) RunBroker(ids []string, b Broker) (*Result, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("oassis: no crowd members")
 	}
+	if s.platform != nil {
+		conn := s.platform.Attach(b)
+		defer conn.Detach()
+		b = conn
+	}
 	eng := core.NewBrokerEngine(s.space, ids, s.engineConfig(len(ids)))
 	res := eng.RunWith(b)
 	s.applyLimit(res)
@@ -504,6 +570,11 @@ func (s *Session) engineConfig(n int) core.EngineConfig {
 			k = n
 		}
 		agg = crowd.NewMeanAggregator(k, s.Theta())
+	} else if r, ok := agg.(crowd.Resetter); ok {
+		// Each run is independent: a re-run Session (a long-lived server
+		// restarting the same query) must not start pre-decided by the
+		// previous run's accumulated answers.
+		r.Reset()
 	}
 	maxMSPs := 0
 	if s.query.Limit > 0 && !s.query.Diverse {
