@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"oassis"
@@ -25,9 +27,14 @@ import (
 )
 
 func main() {
+	var queryPaths []string
+	flag.Func("query", "OASSIS-QL query file (repeat to serve a query fleet; select per run with POST /start?query=<name>)",
+		func(p string) error {
+			queryPaths = append(queryPaths, p)
+			return nil
+		})
 	var (
 		ontologyPath = flag.String("ontology", "", "ontology file")
-		queryPath    = flag.String("query", "", "OASSIS-QL query file")
 		addr         = flag.String("addr", ":8080", "listen address")
 		minMembers   = flag.Int("min-members", 3, "members required before /start")
 		k            = flag.Int("k", 0, "answers per assignment (default: min(5, members))")
@@ -40,7 +47,7 @@ func main() {
 		storeMax     = flag.Int("store-max", 0, "shared-store size bound with LRU eviction (0 = unbounded)")
 	)
 	flag.Parse()
-	if *ontologyPath == "" || *queryPath == "" {
+	if *ontologyPath == "" || len(queryPaths) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -49,7 +56,7 @@ func main() {
 		metrics: *metrics, pprof: *pprofFlag,
 		sharedStore: *sharedStore, storeTTL: *storeTTL, storeMax: *storeMax,
 	}
-	if err := run(*ontologyPath, *queryPath, *addr, cfg); err != nil {
+	if err := run(*ontologyPath, queryPaths, *addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis-serve:", err)
 		os.Exit(1)
 	}
@@ -68,16 +75,8 @@ type serveConfig struct {
 	storeMax    int
 }
 
-func run(ontologyPath, queryPath, addr string, cfg serveConfig) error {
+func run(ontologyPath string, queryPaths []string, addr string, cfg serveConfig) error {
 	_, store, err := oassis.LoadOntologyFile(ontologyPath)
-	if err != nil {
-		return err
-	}
-	qb, err := os.ReadFile(queryPath)
-	if err != nil {
-		return err
-	}
-	q, err := oassis.ParseQuery(string(qb), store.Vocabulary())
 	if err != nil {
 		return err
 	}
@@ -106,36 +105,56 @@ func run(ontologyPath, queryPath, addr string, cfg serveConfig) error {
 		Obs:           o,
 		EnablePprof:   cfg.pprof,
 	})
-	// The server drives the kernel through its own event broker
-	// (Session.RunBroker); WithParallelism only applies to the in-process
-	// RunCrowd/RunParallel drivers and is not needed here.
-	opts := []oassis.Option{
-		oassis.WithSeed(cfg.seed),
+	// Build one session per query file, all over the same frozen store:
+	// the store's shared plan cache means a repeated WHERE shape across the
+	// fleet compiles exactly once, and every session's rows stream straight
+	// into space construction. The first query is the default; each is
+	// selectable per run with POST /start?query=<name>.
+	names := fleetNames(queryPaths)
+	for i, qp := range queryPaths {
+		qb, err := os.ReadFile(qp)
+		if err != nil {
+			return err
+		}
+		q, err := oassis.ParseQuery(string(qb), store.Vocabulary())
+		if err != nil {
+			return fmt.Errorf("%s: %w", qp, err)
+		}
+		// The server drives the kernel through its own event broker
+		// (Session.RunBroker); WithParallelism only applies to the
+		// in-process RunCrowd/RunParallel drivers and is not needed here.
+		opts := []oassis.Option{
+			oassis.WithSeed(cfg.seed),
+		}
+		if o != nil {
+			opts = append(opts, oassis.WithObserver(o))
+		}
+		if answerStore != nil {
+			opts = append(opts, oassis.WithPlatform(answerStore))
+		}
+		if cfg.k > 0 {
+			opts = append(opts, oassis.WithAggregator(oassis.NewMeanAggregator(cfg.k, q.Satisfying.Support)))
+		}
+		var sess *oassis.Session
+		opts = append(opts, oassis.WithOnMSP(func(a *oassis.Assignment) {
+			fs := sess.FactSets([]*oassis.Assignment{a})[0]
+			text := sess.DescribeAnswer(fs)
+			srv.RecordAnswer(text)
+			fmt.Println("answer:", text)
+		}))
+		sess, err = oassis.NewSession(store, q, opts...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", qp, err)
+		}
+		srv.AttachNamed(names[i], sess)
+		fmt.Printf("oassis-serve: query %q with %d valid assignments, threshold %.2f\n",
+			names[i], sess.ValidAssignments(), sess.Theta())
 	}
-	if o != nil {
-		opts = append(opts, oassis.WithObserver(o))
-	}
-	if answerStore != nil {
-		opts = append(opts, oassis.WithPlatform(answerStore))
-	}
-	if cfg.k > 0 {
-		opts = append(opts, oassis.WithAggregator(oassis.NewMeanAggregator(cfg.k, q.Satisfying.Support)))
-	}
-	var sess *oassis.Session
-	opts = append(opts, oassis.WithOnMSP(func(a *oassis.Assignment) {
-		fs := sess.FactSets([]*oassis.Assignment{a})[0]
-		text := sess.DescribeAnswer(fs)
-		srv.RecordAnswer(text)
-		fmt.Println("answer:", text)
-	}))
-	sess, err = oassis.NewSession(store, q, opts...)
-	if err != nil {
-		return err
-	}
-	srv.Attach(sess)
-	fmt.Printf("oassis-serve: query with %d valid assignments, threshold %.2f\n",
-		sess.ValidAssignments(), sess.Theta())
 	fmt.Printf("oassis-serve: listening on %s (POST /join, then /start)\n", addr)
+	if len(queryPaths) > 1 {
+		fmt.Printf("oassis-serve: %d queries attached; select with POST /start?query=<name> (GET /queries lists them)\n",
+			len(queryPaths))
+	}
 	if answerStore != nil {
 		fmt.Printf("oassis-serve: shared answer store enabled (ttl=%v, max=%d)\n", cfg.storeTTL, cfg.storeMax)
 	}
@@ -146,4 +165,20 @@ func run(ontologyPath, queryPath, addr string, cfg serveConfig) error {
 		fmt.Printf("oassis-serve: profiling on %s/debug/pprof/\n", addr)
 	}
 	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// fleetNames derives a unique fleet name per query file: the file's base
+// name without extension, suffixed with its position on collision.
+func fleetNames(paths []string) []string {
+	names := make([]string, len(paths))
+	seen := make(map[string]bool, len(paths))
+	for i, p := range paths {
+		n := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		if n == "" || seen[n] {
+			n = fmt.Sprintf("%s-%d", n, i)
+		}
+		seen[n] = true
+		names[i] = n
+	}
+	return names
 }

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"oassis/internal/assign"
+	"oassis/internal/oassisql"
+	"oassis/internal/sparql"
 	"oassis/internal/synth"
 )
 
@@ -92,6 +94,60 @@ func BenchmarkInstantiate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = d.Space.Instantiate(valid[i%len(valid)])
 	}
+}
+
+// BenchmarkSpaceStreaming compares the streaming space constructor (rows
+// flow from plan operators straight into candidate building, allocations
+// bounded by the number of distinct candidates) against the materialized
+// path (Eval buffers every intermediate row before projection). The query
+// carries a fan-out variable ($q) that the projection drops, so the
+// intermediate row count exceeds the distinct-candidate count by two
+// orders of magnitude — exactly the shape where buffering hurts.
+func BenchmarkSpaceStreaming(b *testing.B) {
+	d, err := synth.NewDAG(synth.DAGConfig{Width: 40, Depth: 3, MSPPercent: 0.05, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := oassisql.Parse(
+		`SELECT FACT-SETS WHERE $y subClassOf* Stuff. $q subClassOf* Stuff. $p subClassOf* Somewhere SATISFYING $y doAt $p WITH SUPPORT = 0.5`,
+		d.Vocab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sparql.NewEvaluator(d.Store).Compile(q.Where)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, streamed, err := assign.NewSpaceFromPlan(q, plan, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := len(ref.Valid())
+	b.Logf("streamed %d rows into %d nodes (%d valid)", streamed, ref.NumNodes(), want)
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp, _, err := assign.NewSpaceFromPlan(q, plan, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sp.Valid()) != want {
+				b.Fatalf("valid count %d, want %d", len(sp.Valid()), want)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp, err := assign.NewSpaceFromRows(q, plan.Eval(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sp.Valid()) != want {
+				b.Fatalf("valid count %d, want %d", len(sp.Valid()), want)
+			}
+		}
+	})
 }
 
 // BenchmarkSpaceConstruction measures building the space from bindings.

@@ -60,6 +60,10 @@ type Classifier struct {
 	entries []statusEntry
 	// leqMemo caches space.Leq per ordered node pair (a.id<<32 | b.id).
 	leqMemo map[uint64]bool
+	// sigSize tracks len(sig) incrementally so the per-round border gauge
+	// (core.Engine.drive) reads a plain counter instead of touching the
+	// border slice at all.
+	sigSize int
 }
 
 type statusEntry struct {
@@ -137,11 +141,13 @@ func (c *Classifier) MarkSignificant(a *Assignment) {
 	}
 	c.sig = out
 	if covered {
+		c.sigSize = len(c.sig)
 		return
 	}
 	c.sig = append(c.sig, a)
 	c.sigLog = append(c.sigLog, a)
 	c.entry(a.id).status = Significant
+	c.sigSize = len(c.sig)
 }
 
 // MarkInsignificant records that a's support is below the threshold; all
@@ -173,6 +179,12 @@ func (c *Classifier) MarkInsignificant(a *Assignment) {
 // classified the whole space these are exactly the MSPs among the explored
 // assignments.
 func (c *Classifier) SignificantBorder() []*Assignment { return c.sig }
+
+// SignificantBorderSize returns the current significant-border antichain
+// size. It is maintained incrementally by MarkSignificant, so per-round
+// gauges read it in O(1) without materializing (or even touching) the
+// border slice.
+func (c *Classifier) SignificantBorderSize() int { return c.sigSize }
 
 // InsignificantBorder returns the minimal insignificant antichain.
 func (c *Classifier) InsignificantBorder() []*Assignment { return c.insig }

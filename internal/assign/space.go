@@ -105,6 +105,18 @@ func NewSpace(q *oassisql.Query, bindings []sparql.Binding, morePool ontology.Fa
 // and then interned serially in row order, so NodeID assignment and Valid()
 // ordering are byte-identical to the serial NewSpace path.
 func NewSpaceFromRows(q *oassisql.Query, res *sparql.Results, morePool ontology.FactSet) (*Space, error) {
+	s, err := newSpaceShell(q, morePool)
+	if err != nil {
+		return nil, err
+	}
+	s.projectRows(res)
+	return s, nil
+}
+
+// newSpaceShell builds the query-derived skeleton every Space constructor
+// shares: mining variable specs, namespaces, upper bounds and the MORE pool.
+// Only the projection of the WHERE results differs between constructors.
+func newSpaceShell(q *oassisql.Query, morePool ontology.FactSet) (*Space, error) {
 	v := q.Vocabulary()
 	s := &Space{
 		v:          v,
@@ -128,7 +140,6 @@ func NewSpaceFromRows(q *oassisql.Query, res *sparql.Results, morePool ontology.
 		s.morePool = canonicalMore(v, morePool)
 	}
 	s.computeUpperBounds()
-	s.projectRows(res)
 	return s, nil
 }
 
@@ -136,21 +147,23 @@ func NewSpaceFromRows(q *oassisql.Query, res *sparql.Results, morePool ontology.
 // candidate build across workers costs more than it saves.
 const projectParallelThreshold = 256
 
-// projectRows is the row-oriented twin of project: it projects the plan's
-// result rows onto the bound mining variables. The expansion into candidate
-// assignments (hash keys included) is sharded across workers; the interning
-// merge then runs serially in row order, which keeps NodeIDs and the final
-// Valid() order identical to the serial path.
-func (s *Space) projectRows(res *sparql.Results) {
-	// Projection schema: the bound mining variables, sorted by name (the
-	// canonical Assignment layout), each mapped to its result column.
+// projSchema maps the bound mining variables, sorted by name (the canonical
+// Assignment layout), onto the columns of a plan's result rows.
+type projSchema struct {
+	names  []string
+	kinds  []vocab.Kind
+	colIdx []int
+}
+
+// schemaFor builds the projection schema against a plan's variable slots.
+func (s *Space) schemaFor(planVars []sparql.PlanVar) projSchema {
 	type col struct {
 		name string
 		kind vocab.Kind
 		idx  int
 	}
 	slot := map[string]int{}
-	for i, pv := range res.Vars() {
+	for i, pv := range planVars {
 		slot[pv.Name] = i
 	}
 	var cols []col
@@ -163,14 +176,21 @@ func (s *Space) projectRows(res *sparql.Results) {
 		}
 	}
 	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
-	projNames := make([]string, len(cols))
-	projKinds := make([]vocab.Kind, len(cols))
-	colIdx := make([]int, len(cols))
-	for i, c := range cols {
-		projNames[i], projKinds[i], colIdx[i] = c.name, c.kind, c.idx
+	sch := projSchema{
+		names:  make([]string, len(cols)),
+		kinds:  make([]vocab.Kind, len(cols)),
+		colIdx: make([]int, len(cols)),
 	}
+	for i, c := range cols {
+		sch.names[i], sch.kinds[i], sch.colIdx[i] = c.name, c.kind, c.idx
+	}
+	return sch
+}
 
-	rows := res.Rows()
+// buildCandidates expands result rows into candidate assignments under the
+// schema, sharded across ≤8 workers when the row count warrants it. The
+// candidates come back in row order with warmed key caches.
+func buildCandidates(sch projSchema, rows [][]vocab.TermID) []*Assignment {
 	candidates := make([]*Assignment, len(rows))
 	build := func(lo, hi int) {
 		for r := lo; r < hi; r++ {
@@ -178,10 +198,10 @@ func (s *Space) projectRows(res *sparql.Results) {
 			// name/kind slices are immutable, so candidates can share
 			// them — one small backing array per row is the only
 			// allocation that scales with the result set.
-			a := &Assignment{names: projNames, kinds: projKinds, id: noID}
-			backing := make([]vocab.TermID, len(cols))
-			a.vals = make([][]vocab.TermID, len(cols))
-			for i, c := range colIdx {
+			a := &Assignment{names: sch.names, kinds: sch.kinds, id: noID}
+			backing := make([]vocab.TermID, len(sch.colIdx))
+			a.vals = make([][]vocab.TermID, len(sch.colIdx))
+			for i, c := range sch.colIdx {
 				backing[i] = rows[r][c]
 				a.vals[i] = backing[i : i+1 : i+1]
 			}
@@ -195,28 +215,34 @@ func (s *Space) projectRows(res *sparql.Results) {
 	}
 	if len(rows) < projectParallelThreshold || workers < 2 {
 		build(0, len(rows))
-	} else {
-		var wg sync.WaitGroup
-		chunk := (len(rows) + workers - 1) / workers
-		for lo := 0; lo < len(rows); lo += chunk {
-			hi := lo + chunk
-			if hi > len(rows) {
-				hi = len(rows)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				build(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
+		return candidates
 	}
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			build(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return candidates
+}
 
-	// Deterministic merge: intern in row order, exactly as project does.
+// internCandidates is the deterministic serial merge shared by the
+// materialized and streaming constructors: intern in candidate order,
+// exactly as project does, then settle the canonical Valid()/validVals
+// orders.
+func (s *Space) internCandidates(sch projSchema, candidates []*Assignment) {
 	s.in.mu.Lock()
 	defer s.in.mu.Unlock()
-	seenVals := make(map[string]map[vocab.TermID]bool, len(cols))
-	for _, n := range projNames {
+	seenVals := make(map[string]map[vocab.TermID]bool, len(sch.names))
+	for _, n := range sch.names {
 		seenVals[n] = map[vocab.TermID]bool{}
 	}
 	for _, cand := range candidates {
@@ -226,7 +252,7 @@ func (s *Space) projectRows(res *sparql.Results) {
 			continue
 		}
 		s.valid = append(s.valid, a)
-		for i, n := range projNames {
+		for i, n := range sch.names {
 			id := a.vals[i][0]
 			if !seenVals[n][id] {
 				seenVals[n][id] = true
@@ -239,6 +265,16 @@ func (s *Space) projectRows(res *sparql.Results) {
 		ids := s.validVals[name]
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
+}
+
+// projectRows is the row-oriented twin of project: it projects the plan's
+// result rows onto the bound mining variables. The expansion into candidate
+// assignments (hash keys included) is sharded across workers; the interning
+// merge then runs serially in row order, which keeps NodeIDs and the final
+// Valid() order identical to the serial path.
+func (s *Space) projectRows(res *sparql.Results) {
+	sch := s.schemaFor(res.Vars())
+	s.internCandidates(sch, buildCandidates(sch, res.Rows()))
 }
 
 // Vocabulary returns the space's vocabulary.

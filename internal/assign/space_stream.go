@@ -1,0 +1,77 @@
+package assign
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"oassis/internal/oassisql"
+	"oassis/internal/ontology"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// This file implements the streaming space constructor: rows flow from the
+// compiled plan's push-based executor (sparql.Plan.Stream) straight into
+// space construction, with no intermediate result arena. The materialized
+// path (Eval + NewSpaceFromRows) sorts and dedups the full row set before
+// interning, so its NodeID assignment order is: distinct projected
+// candidates, ordered by the *minimal* result row (sparql.CompareRows) that
+// produces each of them. The streaming path reproduces that order exactly
+// while holding only O(distinct candidates) state:
+//
+//   - each streamed row is projected onto the schema columns and deduped
+//     through a byte-key map — a map hit costs no allocation, so total
+//     allocations are bounded by the output (distinct candidates), not by
+//     the intermediate row count;
+//   - per distinct candidate the minimal full source row is tracked (a
+//     later, smaller row overwrites the retained copy in place);
+//   - at end of stream the retained rows are sorted by CompareRows and fed
+//     through the same ≤8-worker candidate builders and serial intern merge
+//     the materialized path uses.
+//
+// NodeIDs, Valid() order and validVals therefore come out byte-identical to
+// NewSpaceFromRows — pinned by the differential suite in
+// space_stream_test.go.
+
+// NewSpaceFromPlan builds the assignment space by streaming rows out of a
+// compiled plan, never materializing the plan's result set. It returns the
+// space and the number of rows streamed (pre-dedup, the analogue of the
+// materialized path's intermediate size). The plan must have been compiled
+// for the query's WHERE clause; like Plan.Stream, concurrent calls on one
+// plan are safe.
+func NewSpaceFromPlan(q *oassisql.Query, pl *sparql.Plan, morePool ontology.FactSet) (*Space, int, error) {
+	s, err := newSpaceShell(q, morePool)
+	if err != nil {
+		return nil, 0, err
+	}
+	sch := s.schemaFor(pl.Vars())
+
+	// Dedup state: seen maps the projected byte key of a candidate to its
+	// index in minRows, which retains the minimal full source row per
+	// distinct candidate. The key buffer is reused across rows; Go's
+	// map[string] lookup on string(keyBuf) does not allocate, so only
+	// fresh candidates cost anything.
+	seen := make(map[string]int)
+	var minRows [][]vocab.TermID
+	keyBuf := make([]byte, 8*len(sch.colIdx))
+	streamed := pl.Stream(func(row []vocab.TermID) bool {
+		for i, c := range sch.colIdx {
+			binary.LittleEndian.PutUint64(keyBuf[8*i:], uint64(row[c]))
+		}
+		if idx, ok := seen[string(keyBuf)]; ok {
+			if sparql.CompareRows(row, minRows[idx]) < 0 {
+				copy(minRows[idx], row)
+			}
+			return true
+		}
+		seen[string(keyBuf)] = len(minRows)
+		minRows = append(minRows, append([]vocab.TermID(nil), row...))
+		return true
+	})
+
+	sort.Slice(minRows, func(i, j int) bool {
+		return sparql.CompareRows(minRows[i], minRows[j]) < 0
+	})
+	s.internCandidates(sch, buildCandidates(sch, minRows))
+	return s, streamed, nil
+}

@@ -179,7 +179,7 @@ func (e *Engine) drive(dispatch func([]*crowd.Ask) []crowd.Reply) *Result {
 		km.Replies.Add(int64(len(replies)))
 		km.InFlight.Set(0)
 		if observed {
-			border := len(e.k.global.SignificantBorder())
+			border := e.k.global.SignificantBorderSize()
 			now := e.clock.Now()
 			dur := now.Sub(roundStart)
 			km.RoundComplete(len(asks), border, dur)

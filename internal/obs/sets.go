@@ -113,24 +113,44 @@ func (m *BrokerMetrics) Reply(outcome int, elapsed time.Duration) {
 // (they are per-plan, not global); this set carries the aggregate view.
 // A nil *PlanMetrics is a no-op.
 type PlanMetrics struct {
-	Compiles   *Counter
-	Evals      *Counter
-	Rows       *Counter
-	CompileDur *Histogram
-	EvalDur    *Histogram
+	Compiles    *Counter
+	Evals       *Counter
+	Rows        *Counter
+	CacheHits   *Counter
+	CacheMisses *Counter
+	CompileDur  *Histogram
+	EvalDur     *Histogram
 }
 
 // NewPlanMetrics registers the sparql metric family in r.
 func NewPlanMetrics(r *Registry) *PlanMetrics {
 	return &PlanMetrics{
-		Compiles: r.Counter("oassis_sparql_compiles_total", "WHERE clauses compiled to plans."),
-		Evals:    r.Counter("oassis_sparql_evals_total", "Plan evaluations."),
-		Rows:     r.Counter("oassis_sparql_rows_total", "Result rows produced by plan evaluations."),
+		Compiles:    r.Counter("oassis_sparql_compiles_total", "WHERE clauses compiled to plans."),
+		Evals:       r.Counter("oassis_sparql_evals_total", "Plan evaluations."),
+		Rows:        r.Counter("oassis_sparql_rows_total", "Result rows produced by plan evaluations."),
+		CacheHits:   r.Counter("oassis_sparql_plan_cache_hits_total", "Compiles served from the shared plan cache."),
+		CacheMisses: r.Counter("oassis_sparql_plan_cache_misses_total", "Plan cache lookups that had to compile."),
 		CompileDur: r.Histogram("oassis_sparql_compile_seconds",
 			"WHERE clause compile time.", DefaultLatencyBuckets),
 		EvalDur: r.Histogram("oassis_sparql_eval_seconds",
 			"Plan evaluation time.", DefaultLatencyBuckets),
 	}
+}
+
+// CacheHit records one compile served from the shared plan cache.
+func (m *PlanMetrics) CacheHit() {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+}
+
+// CacheMiss records one plan-cache lookup that fell through to Compile.
+func (m *PlanMetrics) CacheMiss() {
+	if m == nil {
+		return
+	}
+	m.CacheMisses.Inc()
 }
 
 // CompileDone records one compile.

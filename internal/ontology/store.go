@@ -43,7 +43,17 @@ type Store struct {
 	// cold counts index builds, warm counts lookups served memoized.
 	closureCold atomic.Int64
 	closureWarm atomic.Int64
+
+	// planMemo is an opaque memo slot for frozen-store consumers: the
+	// sparql plan cache hangs its per-store compiled-plan table here, so
+	// cached artifacts share the store's lifetime instead of leaking
+	// through a process-global table.
+	planMemo sync.Map
 }
+
+// PlanMemo exposes the store's consumer memo slot (see the field comment).
+// Entries should only be added once the store is frozen.
+func (s *Store) PlanMemo() *sync.Map { return &s.planMemo }
 
 // ClosureCacheStats is a snapshot of the closure index counters.
 type ClosureCacheStats struct {

@@ -77,6 +77,14 @@ type Server struct {
 	runErr  error
 	msps    []string // incrementally discovered answers (rendered)
 
+	// fleet is the named query fleet for multi-query serving: sessions
+	// registered with AttachNamed, selectable per run via
+	// POST /start?query=<name>. fleetNames preserves registration order
+	// (the first entry is the default current session).
+	fleet      map[string]*oassis.Session
+	fleetNames []string
+	current    string // fleet name of the attached session ("" = unnamed)
+
 	nextQID int64
 
 	// reapNotify wakes the reaper when a new question is posted;
@@ -126,7 +134,47 @@ func (s *Server) Attach(session *oassis.Session) {
 		s.resetRunLocked()
 	}
 	s.session = session
+	s.current = ""
 	s.mu.Unlock()
+}
+
+// AttachNamed registers a session under a name in the server's query fleet.
+// Every registered query is selectable per run with POST /start?query=<name>
+// and listed by GET /queries; the first registration also becomes the
+// attached (default) session. Building the fleet's sessions over one
+// ontology shares the store's plan cache, so a hot query shape compiles once
+// across the fleet no matter how many sessions serve it.
+func (s *Server) AttachNamed(name string, session *oassis.Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.fleet[name]; !ok {
+		if s.fleet == nil {
+			s.fleet = make(map[string]*oassis.Session)
+		}
+		s.fleetNames = append(s.fleetNames, name)
+	}
+	s.fleet[name] = session
+	if s.session == nil {
+		s.session = session
+		s.current = name
+	}
+}
+
+// selectQueryLocked switches the attached session to the named fleet entry.
+// Callers hold s.mu and have already ensured no run is in flight.
+func (s *Server) selectQueryLocked(name string) error {
+	sess, ok := s.fleet[name]
+	if !ok {
+		return fmt.Errorf("unknown query %q", name)
+	}
+	if s.session != sess {
+		if s.done {
+			s.resetRunLocked()
+		}
+		s.session = sess
+	}
+	s.current = name
+	return nil
 }
 
 // resetRunLocked clears a completed run so the next /start launches a
@@ -179,6 +227,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /question", s.instrument("/question", s.handleQuestion))
 	mux.HandleFunc("POST /answer", s.instrument("/answer", s.handleAnswer))
 	mux.HandleFunc("GET /results", s.instrument("/results", s.handleResults))
+	mux.HandleFunc("GET /queries", s.instrument("/queries", s.handleQueries))
 	if s.cfg.Obs != nil {
 		mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	}
@@ -402,6 +451,16 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		// not completion, discards the previous run's feed.
 		s.resetRunLocked()
 	}
+	if name := r.URL.Query().Get("query"); name != "" {
+		// Multi-query serving: run one of the fleet's registered queries.
+		// The session was built once (AttachNamed) against the shared plan
+		// cache, so switching queries never recompiles a known shape.
+		if err := s.selectQueryLocked(name); err != nil {
+			s.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+	}
 	if len(s.members) < s.cfg.MinMembers {
 		n := len(s.members)
 		s.mu.Unlock()
@@ -550,6 +609,16 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		resp["departures"] = s.result.Stats.Departures
 	}
 	writeJSON(w, resp)
+}
+
+// handleQueries lists the registered query fleet: every AttachNamed name in
+// registration order plus the currently attached selection.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := append([]string(nil), s.fleetNames...)
+	current := s.current
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"queries": names, "current": current})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

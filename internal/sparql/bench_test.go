@@ -60,3 +60,39 @@ func BenchmarkWhereEval(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPlanCache compares a cold Compile against a shared-cache hit:
+// the hit path hashes the query shape, rebinds the cached plan to the
+// caller's variable names and skips compilation entirely, which is what
+// keeps repeated NewSession setup at the reused-plan level.
+func BenchmarkPlanCache(b *testing.B) {
+	v, s := paperdata.Build()
+	bgp := benchBGP(v)
+
+	b.Run("compile-cold", func(b *testing.B) {
+		e := sparql.NewEvaluator(s)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Compile(bgp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		e := sparql.NewEvaluator(s).UseSharedCache()
+		if _, err := e.Compile(bgp); err != nil { // warm the shared entry
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Compile(bgp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hits, _, _ := e.Cache.Stats()
+		if hits < int64(b.N) {
+			b.Fatalf("expected >= %d cache hits, got %d", b.N, hits)
+		}
+	})
+}

@@ -119,8 +119,19 @@ func (pl *Plan) Observe(m *obs.PlanMetrics) {
 // Semantic mode is captured at compile time. The store's contents must be
 // final (normally: frozen) before compiling — selectivity estimates and the
 // closure indexes snapshot it. When the evaluator carries a Metrics set the
-// compile is timed and the plan comes back with observation enabled.
+// compile is timed and the plan comes back with observation enabled. When
+// the evaluator carries a Cache, the lookup happens here: a cached shape
+// skips compilation (and the Compiles counter) entirely.
 func (e *Evaluator) Compile(bgp BGP) (*Plan, error) {
+	if e.Cache != nil {
+		return e.Cache.lookup(e, bgp)
+	}
+	return e.compileTimed(bgp)
+}
+
+// compileTimed is the uncached Compile body: lower the BGP, time it, and
+// switch on observation when the evaluator carries metrics.
+func (e *Evaluator) compileTimed(bgp BGP) (*Plan, error) {
 	start := time.Now()
 	pl, err := e.compile(bgp)
 	if err != nil {
@@ -569,33 +580,81 @@ func (pl *Plan) Explain() string {
 	return sb.String()
 }
 
-// exec is the per-Eval scratch state: one reusable row plus the result
-// arena. Rows are copied out of the scratch row only on emit. counts, when
-// non-nil, tallies step entries per operator for this Eval (merged into the
-// plan's atomics once at the end).
+// exec is the per-run scratch state: one reusable row plus the consumer of
+// emitted rows. yield receives the scratch row each time the pipeline
+// completes a solution (the slice is reused — consumers retaining a row must
+// copy it); returning false stops the run. Eval installs its arena collector
+// as the yield, so collection and streaming share one execution path.
+// counts, when non-nil, tallies step entries per operator for this run
+// (merged into the plan's atomics once at the end).
 type exec struct {
-	pl     *Plan
-	row    []vocab.TermID
-	arena  []vocab.TermID
-	rows   [][]vocab.TermID
-	counts []int64
+	pl      *Plan
+	row     []vocab.TermID
+	yield   func(row []vocab.TermID) bool
+	stop    bool
+	emitted int
+	arena   []vocab.TermID
+	rows    [][]vocab.TermID
+	counts  []int64
 }
 
-// Eval runs the plan and returns every solution as a row of the plan's
-// variable slots, deterministically ordered and deduplicated (the same
-// order Evaluator.Eval has always produced).
-func (pl *Plan) Eval() *Results {
+func (pl *Plan) newExec() *exec {
 	ex := &exec{pl: pl, row: make([]vocab.TermID, len(pl.vars))}
 	for i := range ex.row {
 		ex.row[i] = freeVal
 	}
+	if pl.actual != nil {
+		ex.counts = make([]int64, len(pl.ops)+1)
+	}
+	return ex
+}
+
+// run drives the operator pipeline to completion (or early stop), merges the
+// per-run operator counts into the plan's atomics, and returns the elapsed
+// time (zero when the plan is unobserved). Callers report to metrics
+// themselves: Eval counts deduplicated solutions, Stream counts raw emits.
+func (pl *Plan) run(ex *exec) time.Duration {
 	observing := pl.actual != nil
 	var start time.Time
 	if observing {
-		ex.counts = make([]int64, len(pl.ops)+1)
 		start = time.Now()
 	}
 	pl.step(ex, 0)
+	if !observing {
+		return 0
+	}
+	for i, c := range ex.counts {
+		pl.actual[i].Add(c)
+	}
+	pl.evals.Add(1)
+	return time.Since(start)
+}
+
+// Stream runs the plan push-based: yield is called once per solution with a
+// row of the plan's variable slots, in production order — not the sorted,
+// deduplicated order Eval returns, and the same logical row may be produced
+// more than once. The row slice is the run's scratch row, valid only for the
+// duration of the call; copy it to retain it. Returning false from yield
+// stops the run early. Stream returns the number of rows yielded and, like
+// Eval, counts as one evaluation on the plan's metrics.
+func (pl *Plan) Stream(yield func(row []vocab.TermID) bool) int {
+	ex := pl.newExec()
+	ex.yield = yield
+	dur := pl.run(ex)
+	if pl.actual != nil {
+		pl.metrics.EvalDone(ex.emitted, dur)
+	}
+	return ex.emitted
+}
+
+// Eval runs the plan and returns every solution as a row of the plan's
+// variable slots, deterministically ordered and deduplicated (the same
+// order Evaluator.Eval has always produced). It is a collector over the
+// same push-based machinery Stream exposes.
+func (pl *Plan) Eval() *Results {
+	ex := pl.newExec()
+	ex.yield = ex.collect
+	dur := pl.run(ex)
 	rows := ex.rows
 	sort.Slice(rows, func(i, j int) bool { return cmpRows(rows[i], rows[j]) < 0 })
 	dedup := rows[:0]
@@ -604,28 +663,43 @@ func (pl *Plan) Eval() *Results {
 			dedup = append(dedup, r)
 		}
 	}
-	if observing {
-		for i, c := range ex.counts {
-			pl.actual[i].Add(c)
-		}
-		pl.evals.Add(1)
-		pl.metrics.EvalDone(len(dedup), time.Since(start))
+	if pl.actual != nil {
+		pl.metrics.EvalDone(len(dedup), dur)
 	}
 	return &Results{vars: pl.vars, rows: dedup}
 }
 
-func (ex *exec) emit() {
-	n := len(ex.row)
+// collect is Eval's yield: it copies the scratch row into the exec's chunked
+// arena. Chunks grow with demand — sized to the rows collected so far,
+// doubling up to a cap — so a query with a handful of solutions no longer
+// pays for a fixed 256-row chunk.
+func (ex *exec) collect(row []vocab.TermID) bool {
+	n := len(row)
 	if n == 0 {
 		ex.rows = append(ex.rows, nil)
-		return
+		return true
 	}
 	if cap(ex.arena)-len(ex.arena) < n {
-		ex.arena = make([]vocab.TermID, 0, 256*n)
+		chunk := len(ex.rows)
+		if chunk < 8 {
+			chunk = 8
+		}
+		if chunk > 256 {
+			chunk = 256
+		}
+		ex.arena = make([]vocab.TermID, 0, chunk*n)
 	}
 	off := len(ex.arena)
-	ex.arena = append(ex.arena, ex.row...)
+	ex.arena = append(ex.arena, row...)
 	ex.rows = append(ex.rows, ex.arena[off:off+n:off+n])
+	return true
+}
+
+func (ex *exec) emit() {
+	ex.emitted++
+	if !ex.yield(ex.row) {
+		ex.stop = true
+	}
 }
 
 // resolve returns the concrete value of a term under the current row.
@@ -661,8 +735,13 @@ func (ex *exec) trySet(t planTerm, v vocab.TermID) (ok, fresh bool) {
 
 func (ex *exec) unset(t planTerm) { ex.row[t.slot] = freeVal }
 
-// step executes operator i and recurses into the rest of the pipeline.
+// step executes operator i and recurses into the rest of the pipeline. A
+// stopped exec (yield returned false) unwinds without entering any further
+// operator.
 func (pl *Plan) step(ex *exec, i int) {
+	if ex.stop {
+		return
+	}
 	if ex.counts != nil {
 		ex.counts[i]++
 	}
@@ -681,6 +760,9 @@ func (pl *Plan) step(ex *exec, i int) {
 			pl.runTriple(ex, o, pr, i)
 		} else {
 			for _, pr := range pl.store.Predicates() {
+				if ex.stop {
+					return
+				}
 				if ok, fresh := ex.trySet(o.p, pr); ok {
 					pl.runTriple(ex, o, pr, i)
 					if fresh {
@@ -702,6 +784,9 @@ func (pl *Plan) runLabel(ex *exec, o *op, i int) {
 		return
 	}
 	for _, s := range pl.store.LabeledElements(o.lit) {
+		if ex.stop {
+			return
+		}
 		if ok, fresh := ex.trySet(o.s, s); ok {
 			pl.step(ex, i+1)
 			if fresh {
@@ -735,6 +820,9 @@ func (pl *Plan) runStar(ex *exec, o *op, i int) {
 			return
 		}
 		for _, t := range l {
+			if ex.stop {
+				return
+			}
 			if ok, fresh := ex.trySet(o.o, t); ok {
 				pl.step(ex, i+1)
 				if fresh {
@@ -754,6 +842,9 @@ func (pl *Plan) runStar(ex *exec, o *op, i int) {
 			return
 		}
 		for _, t := range l {
+			if ex.stop {
+				return
+			}
 			if ok, fresh := ex.trySet(o.s, t); ok {
 				pl.step(ex, i+1)
 				if fresh {
@@ -765,6 +856,9 @@ func (pl *Plan) runStar(ex *exec, o *op, i int) {
 		// Both free: the precomputed reachability relation, no per-call
 		// dedup map — ClosurePairs is already duplicate-free.
 		for _, e := range st.ClosurePairs(pred) {
+			if ex.stop {
+				return
+			}
 			ok1, fr1 := ex.trySet(o.s, e.S)
 			if !ok1 {
 				continue
@@ -795,6 +889,9 @@ func (pl *Plan) runTriple(ex *exec, o *op, pred vocab.TermID, i int) {
 		}
 	case sOK:
 		for _, x := range st.Objects(s, pred) {
+			if ex.stop {
+				return
+			}
 			if ok, fresh := ex.trySet(o.o, x); ok {
 				pl.step(ex, i+1)
 				if fresh {
@@ -804,6 +901,9 @@ func (pl *Plan) runTriple(ex *exec, o *op, pred vocab.TermID, i int) {
 		}
 	case oOK:
 		for _, x := range st.Subjects(pred, obj) {
+			if ex.stop {
+				return
+			}
 			if ok, fresh := ex.trySet(o.s, x); ok {
 				pl.step(ex, i+1)
 				if fresh {
@@ -813,6 +913,9 @@ func (pl *Plan) runTriple(ex *exec, o *op, pred vocab.TermID, i int) {
 		}
 	default:
 		for _, f := range st.FactsWithPredicate(pred) {
+			if ex.stop {
+				return
+			}
 			ok1, fr1 := ex.trySet(o.s, f.S)
 			if !ok1 {
 				continue
@@ -837,6 +940,9 @@ func (pl *Plan) runTriple(ex *exec, o *op, pred vocab.TermID, i int) {
 func (pl *Plan) runSemDispatch(ex *exec, o *op, i int) {
 	if o.p.isConst {
 		for _, pr := range pl.store.Predicates() {
+			if ex.stop {
+				return
+			}
 			if pl.v.LeqR(o.p.constID, pr) {
 				pl.runSemTriple(ex, o, pr, i)
 			}
@@ -845,6 +951,9 @@ func (pl *Plan) runSemDispatch(ex *exec, o *op, i int) {
 	}
 	pv, bound := ex.resolve(o.p)
 	for _, pr := range pl.store.Predicates() {
+		if ex.stop {
+			return
+		}
 		if bound && !pl.v.LeqR(pv, pr) {
 			continue
 		}
@@ -866,6 +975,9 @@ func (pl *Plan) runSemTriple(ex *exec, o *op, pred vocab.TermID, i int) {
 	s, sOK := ex.resolve(o.s)
 	obj, oOK := ex.resolve(o.o)
 	for _, g := range pl.store.FactsWithPredicate(pred) {
+		if ex.stop {
+			return
+		}
 		if sOK && !v.LeqE(s, g.S) {
 			continue
 		}
@@ -934,6 +1046,12 @@ func (r *Results) Bindings() []Binding {
 	}
 	return out
 }
+
+// CompareRows orders two result rows in the evaluator's canonical
+// deterministic order — the order Eval's sorted, deduplicated Results use.
+// Streaming consumers (assign.NewSpaceFromPlan) use it to reproduce the
+// materialized path's row order without materializing.
+func CompareRows(a, b []vocab.TermID) int { return cmpRows(a, b) }
 
 // cmpRows orders rows exactly as the interpreted evaluator's string keys
 // did: per variable in name (= slot) order, values compare as their decimal

@@ -319,8 +319,24 @@ func (r *refEvaluator) reach(pred, a, z vocab.TermID, seen map[vocab.TermID]bool
 	return false
 }
 
+// caseStore bundles a random store with the element/relation handles the
+// BGP generator draws from, so tests can produce several BGPs over one
+// store (the plan-cache tests need that).
+type caseStore struct {
+	s        *ontology.Store
+	elems    []vocab.TermID
+	rels     []vocab.TermID
+	hasLabel vocab.TermID
+}
+
 // randomCase builds a random vocabulary hierarchy, store and BGP.
 func randomCase(rng *rand.Rand) (*ontology.Store, sparql.BGP) {
+	cs := randomStore(rng)
+	return cs.s, randomBGP(rng, cs)
+}
+
+// randomStore builds the random vocabulary hierarchy and fact store.
+func randomStore(rng *rand.Rand) *caseStore {
 	v := vocab.New()
 	nElem := 4 + rng.Intn(9)
 	elems := make([]vocab.TermID, nElem)
@@ -343,7 +359,6 @@ func randomCase(rng *rand.Rand) (*ontology.Store, sparql.BGP) {
 			}
 		}
 	}
-	_ = hasLabel
 	if err := v.Freeze(); err != nil {
 		panic(err)
 	}
@@ -365,7 +380,11 @@ func randomCase(rng *rand.Rand) (*ontology.Store, sparql.BGP) {
 	if rng.Float64() < 0.9 {
 		s.Freeze()
 	}
+	return &caseStore{s: s, elems: elems, rels: rels, hasLabel: hasLabel}
+}
 
+// randomBGP builds a random BGP over the store's terms.
+func randomBGP(rng *rand.Rand, cs *caseStore) sparql.BGP {
 	elemVars := []string{"x", "y", "z"}
 	relVars := []string{"p", "q"}
 	elemTerm := func() sparql.Term {
@@ -373,7 +392,7 @@ func randomCase(rng *rand.Rand) (*ontology.Store, sparql.BGP) {
 		case r < 0.40:
 			return sparql.VarTerm(elemVars[rng.Intn(len(elemVars))])
 		case r < 0.85:
-			return sparql.ConstTerm(elems[rng.Intn(nElem)])
+			return sparql.ConstTerm(cs.elems[rng.Intn(len(cs.elems))])
 		default:
 			return sparql.WildcardTerm()
 		}
@@ -385,25 +404,25 @@ func randomCase(rng *rand.Rand) (*ontology.Store, sparql.BGP) {
 		case r < 0.15: // label filter
 			bgp = append(bgp, sparql.Pattern{
 				S: elemTerm(),
-				P: sparql.ConstTerm(hasLabel),
+				P: sparql.ConstTerm(cs.hasLabel),
 				O: sparql.LiteralTerm([]string{"red", "blue", "green"}[rng.Intn(3)]),
 			})
 		case r < 0.40: // star path
 			bgp = append(bgp, sparql.Pattern{
 				S:    elemTerm(),
-				P:    sparql.ConstTerm(rels[rng.Intn(nRel)]),
+				P:    sparql.ConstTerm(cs.rels[rng.Intn(len(cs.rels))]),
 				O:    elemTerm(),
 				Star: true,
 			})
 		default: // plain triple, sometimes with a predicate variable
-			p := sparql.ConstTerm(rels[rng.Intn(nRel)])
+			p := sparql.ConstTerm(cs.rels[rng.Intn(len(cs.rels))])
 			if rng.Float64() < 0.25 {
 				p = sparql.VarTerm(relVars[rng.Intn(len(relVars))])
 			}
 			bgp = append(bgp, sparql.Pattern{S: elemTerm(), P: p, O: elemTerm()})
 		}
 	}
-	return s, bgp
+	return bgp
 }
 
 func bindingsEqual(a, b []sparql.Binding) bool {

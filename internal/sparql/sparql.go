@@ -127,6 +127,11 @@ type Evaluator struct {
 	// cardinality accounting on every plan this evaluator compiles
 	// (see Plan.Observe). Nil costs nothing.
 	Metrics *obs.PlanMetrics
+	// Cache, when set, memoizes compiled plans by normalized query shape:
+	// Compile consults it first and a hit skips compilation entirely.
+	// Wire the store-shared instance with UseSharedCache. Nil disables
+	// caching.
+	Cache *PlanCache
 }
 
 // NewEvaluator returns an evaluator over the store.

@@ -1,0 +1,270 @@
+package sparql_test
+
+// Differential tests for the streaming execution path and the shared plan
+// cache. Stream is the primitive Eval is now built on, so the two are
+// pinned against each other on the randomized workload of ref_test.go:
+// sorting and deduplicating the streamed rows must reproduce Eval's rows
+// exactly. The cache tests fuzz the shape normalizer: whenever two
+// compilations share a cache entry, their result tuples must be identical,
+// and near-miss shapes (literal edits, star toggles, mode flips) must not
+// share.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"oassis/internal/paperdata"
+	"oassis/internal/sparql"
+	"oassis/internal/vocab"
+)
+
+// sortDedupRows reproduces Eval's row post-processing on streamed rows.
+func sortDedupRows(rows [][]vocab.TermID) [][]vocab.TermID {
+	sort.Slice(rows, func(i, j int) bool { return sparql.CompareRows(rows[i], rows[j]) < 0 })
+	out := rows[:0]
+	for i, r := range rows {
+		if i == 0 || sparql.CompareRows(r, rows[i-1]) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestStreamMatchesEval pins Stream against Eval on randomized stores and
+// BGPs in both modes: the streamed production, sorted and deduplicated,
+// must equal Eval's materialized rows byte for byte.
+func TestStreamMatchesEval(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, bgp := randomCase(rng)
+		for _, semantic := range []bool{false, true} {
+			e := sparql.NewEvaluator(s)
+			e.Semantic = semantic
+			pl, err := e.Compile(bgp)
+			if err != nil {
+				t.Fatalf("seed %d semantic=%v: compile: %v", seed, semantic, err)
+			}
+			want := pl.Eval()
+			var streamed [][]vocab.TermID
+			n := pl.Stream(func(row []vocab.TermID) bool {
+				if len(row) != len(want.Vars()) {
+					t.Fatalf("seed %d: streamed row width %d, want %d", seed, len(row), len(want.Vars()))
+				}
+				streamed = append(streamed, append([]vocab.TermID(nil), row...))
+				return true
+			})
+			if n != len(streamed) {
+				t.Fatalf("seed %d: Stream returned %d, callback saw %d rows", seed, n, len(streamed))
+			}
+			got := sortDedupRows(streamed)
+			if len(got) != want.Len() {
+				t.Fatalf("seed %d semantic=%v: streamed %d distinct rows, Eval has %d\n%s",
+					seed, semantic, len(got), want.Len(), describeCase(s, bgp))
+			}
+			for i := range got {
+				if sparql.CompareRows(got[i], want.Rows()[i]) != 0 {
+					t.Fatalf("seed %d semantic=%v: row %d: stream %v, eval %v\n%s",
+						seed, semantic, i, got[i], want.Rows()[i], describeCase(s, bgp))
+				}
+			}
+		}
+	}
+}
+
+// TestStreamEarlyStop checks that a yield returning false halts the
+// pipeline: the producer must not call back again after being told to stop.
+func TestStreamEarlyStop(t *testing.T) {
+	v, s := paperdata.Build()
+	e := sparql.NewEvaluator(s)
+	pl, err := e.Compile(benchBGP(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := pl.Stream(func([]vocab.TermID) bool { return true })
+	if total < 2 {
+		t.Fatalf("fixture streams %d rows; need >= 2 for an early stop to mean anything", total)
+	}
+	for stopAfter := 1; stopAfter < 4; stopAfter++ {
+		calls := 0
+		n := pl.Stream(func([]vocab.TermID) bool {
+			calls++
+			return calls < stopAfter
+		})
+		if calls != stopAfter {
+			t.Fatalf("stopAfter=%d: callback ran %d times", stopAfter, calls)
+		}
+		if n != calls {
+			t.Fatalf("stopAfter=%d: Stream returned %d, callback saw %d", stopAfter, n, calls)
+		}
+	}
+}
+
+// rowsEqual compares two result row sets positionally.
+func rowsEqual(a, b [][]vocab.TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if sparql.CompareRows(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanCacheSoundness fuzzes the shape normalizer: random BGP pairs over
+// one store compile through a shared cache, and every compile — hit or miss
+// — must produce the same result tuples as an uncached compile of the same
+// BGP. This is exactly the property that fails if two distinct-result
+// queries ever share a cache entry.
+func TestPlanCacheSoundness(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		cs := randomStore(rng)
+		cs.s.Freeze()
+		for _, semantic := range []bool{false, true} {
+			for i := 0; i < 3; i++ {
+				bgp := randomBGP(rng, cs)
+				cached := sparql.NewEvaluator(cs.s).UseSharedCache()
+				cached.Semantic = semantic
+				plain := sparql.NewEvaluator(cs.s)
+				plain.Semantic = semantic
+				cpl, cerr := cached.Compile(bgp)
+				ppl, perr := plain.Compile(bgp)
+				if (cerr != nil) != (perr != nil) {
+					t.Fatalf("seed %d: cached compile err %v, plain compile err %v\n%s",
+						seed, cerr, perr, describeCase(cs.s, bgp))
+				}
+				if cerr != nil {
+					continue
+				}
+				if !rowsEqual(cpl.Eval().Rows(), ppl.Eval().Rows()) {
+					hits, misses, entries := cached.Cache.Stats()
+					t.Fatalf("seed %d semantic=%v (cache hits=%d misses=%d entries=%d): cached plan diverges from direct compile\n%s",
+						seed, semantic, hits, misses, entries, describeCase(cs.s, bgp))
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheRenamedHit pins the positive side of the normalizer: an
+// order-preserving variable renaming is the same shape, so the second
+// compile must be a hit and the rebound plan must expose the caller's
+// names while producing identical tuples.
+func TestPlanCacheRenamedHit(t *testing.T) {
+	v, s := paperdata.Build()
+	bgp := benchBGP(v)
+
+	// Rename every variable but keep the sort order (w,x,y,z -> va..vd).
+	names := map[string]bool{}
+	for _, p := range bgp {
+		for _, tm := range []sparql.Term{p.S, p.P, p.O} {
+			if tm.Kind == sparql.Var {
+				names[tm.Name] = true
+			}
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	ren := map[string]string{}
+	for i, n := range sorted {
+		ren[n] = fmt.Sprintf("v%c", 'a'+i)
+	}
+	renamed := make(sparql.BGP, len(bgp))
+	for i, p := range bgp {
+		q := p
+		for _, tm := range []*sparql.Term{&q.S, &q.P, &q.O} {
+			if tm.Kind == sparql.Var {
+				tm.Name = ren[tm.Name]
+			}
+		}
+		renamed[i] = q
+	}
+
+	e1 := sparql.NewEvaluator(s).UseSharedCache()
+	pl1, err := e1.Compile(bgp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := sparql.NewEvaluator(s).UseSharedCache()
+	pl2, err := e2.Compile(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := e2.Cache.Stats()
+	if hits < 1 {
+		t.Fatalf("order-preserving renaming missed the cache (hits=%d misses=%d)", hits, misses)
+	}
+	if !rowsEqual(pl1.Eval().Rows(), pl2.Eval().Rows()) {
+		t.Fatal("renamed plan produces different tuples")
+	}
+	vars2 := pl2.Vars()
+	for i, pv := range vars2 {
+		if want := fmt.Sprintf("v%c", 'a'+i); pv.Name != want {
+			t.Fatalf("rebound plan var %d named %q, want %q", i, pv.Name, want)
+		}
+	}
+}
+
+// TestPlanCacheNearMisses drives shapes that are one edit apart through a
+// shared cache and checks none of them collide: a different literal, a
+// toggled star, a different constant, an order-breaking renaming and a
+// mode flip must all compile as misses.
+func TestPlanCacheNearMisses(t *testing.T) {
+	v, s := paperdata.Build()
+	rel := func(name string) vocab.TermID { return v.Relation(name) }
+	el := func(name string) vocab.TermID { return v.Element(name) }
+	base := sparql.BGP{
+		{S: sparql.VarTerm("w"), P: sparql.ConstTerm(rel("subClassOf")), O: sparql.ConstTerm(el("Attraction")), Star: true},
+		{S: sparql.VarTerm("x"), P: sparql.ConstTerm(rel("instanceOf")), O: sparql.VarTerm("w")},
+		{S: sparql.VarTerm("x"), P: sparql.ConstTerm(rel("hasLabel")), O: sparql.LiteralTerm("child-friendly")},
+	}
+	mutate := func(f func(b sparql.BGP)) sparql.BGP {
+		b := make(sparql.BGP, len(base))
+		copy(b, base)
+		f(b)
+		return b
+	}
+	variants := []struct {
+		name     string
+		bgp      sparql.BGP
+		semantic bool
+	}{
+		{"literal", mutate(func(b sparql.BGP) { b[2].O = sparql.LiteralTerm("romantic") }), false},
+		{"star", mutate(func(b sparql.BGP) { b[0].Star = false }), false},
+		{"const", mutate(func(b sparql.BGP) { b[0].O = sparql.ConstTerm(el("Activity")) }), false},
+		{"wildcard", mutate(func(b sparql.BGP) { b[1].O = sparql.WildcardTerm() }), false},
+		{"mode", base, true},
+	}
+	e := sparql.NewEvaluator(s).UseSharedCache()
+	if _, err := e.Compile(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, vt := range variants {
+		ev := sparql.NewEvaluator(s).UseSharedCache()
+		ev.Semantic = vt.semantic
+		before, _, _ := ev.Cache.Stats()
+		if _, err := ev.Compile(vt.bgp); err != nil {
+			t.Fatalf("%s: compile: %v", vt.name, err)
+		}
+		after, _, _ := ev.Cache.Stats()
+		if after != before {
+			t.Fatalf("%s: near-miss variant hit the cache entry of the base shape", vt.name)
+		}
+	}
+	// The unchanged base shape, by contrast, must hit.
+	ev := sparql.NewEvaluator(s).UseSharedCache()
+	before, _, _ := ev.Cache.Stats()
+	if _, err := ev.Compile(base); err != nil {
+		t.Fatal(err)
+	}
+	if after, _, _ := ev.Cache.Stats(); after != before+1 {
+		t.Fatal("identical shape did not hit the cache")
+	}
+}

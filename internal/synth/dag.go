@@ -164,20 +164,19 @@ func NewDAG(cfg DAGConfig) (*DAG, error) {
 	}
 	ev := sparql.NewEvaluator(store)
 	ev.Metrics = cfg.Obs.PlanSet()
+	ev.UseSharedCache()
 	tr := cfg.Obs.Trace()
 	plan, err := ev.Compile(q.Where)
 	if err != nil {
 		return nil, err
 	}
 	evalStart := tr.Begin()
-	rows := plan.Eval()
-	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(rows.Len())})
-	spaceStart := tr.Begin()
-	space, err := assign.NewSpaceFromRows(q, rows, nil)
+	space, streamed, err := assign.NewSpaceFromPlan(q, plan, nil)
 	if err != nil {
 		return nil, err
 	}
-	tr.End("space_build", spaceStart, obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
+	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(streamed)})
+	tr.End("space_build", evalStart, obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
 	d := &DAG{
 		Space: space,
 		Query: q,

@@ -325,20 +325,19 @@ func (d *Domain) buildQuery(cfg DomainConfig) error {
 	}
 	ev := sparql.NewEvaluator(d.Store)
 	ev.Metrics = cfg.Obs.PlanSet()
+	ev.UseSharedCache()
 	tr := cfg.Obs.Trace()
 	plan, err := ev.Compile(q.Where)
 	if err != nil {
 		return err
 	}
 	evalStart := tr.Begin()
-	rows := plan.Eval()
-	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(rows.Len())})
-	spaceStart := tr.Begin()
-	space, err := assign.NewSpaceFromRows(q, rows, d.MorePool)
+	space, streamed, err := assign.NewSpaceFromPlan(q, plan, d.MorePool)
 	if err != nil {
 		return err
 	}
-	tr.End("space_build", spaceStart, obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
+	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(streamed)})
+	tr.End("space_build", evalStart, obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
 	d.Query = q
 	d.Space = space
 	d.Plan = plan

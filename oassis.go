@@ -399,7 +399,11 @@ type Session struct {
 }
 
 // NewSession evaluates the query's WHERE clause against the ontology and
-// constructs the assignment space.
+// constructs the assignment space. The WHERE plan comes from the ontology's
+// shared plan cache — repeated sessions over the same query shape (the
+// multi-run server, synthetic fleets) skip compilation — and its rows stream
+// straight into space construction without materializing an intermediate
+// result set (assign.NewSpaceFromPlan).
 func NewSession(store *Ontology, q *Query, opts ...Option) (*Session, error) {
 	s := &Session{store: store, query: q, specRatio: 0.12}
 	for _, opt := range opts {
@@ -408,6 +412,7 @@ func NewSession(store *Ontology, q *Query, opts ...Option) (*Session, error) {
 	ev := sparql.NewEvaluator(store)
 	ev.Semantic = s.semantic
 	ev.Metrics = s.obsv.PlanSet() // Compile auto-observes the plan
+	ev.UseSharedCache()
 	tr := s.obsv.Trace()
 	plan, err := ev.Compile(q.Where)
 	if err != nil {
@@ -415,15 +420,16 @@ func NewSession(store *Ontology, q *Query, opts ...Option) (*Session, error) {
 	}
 	s.plan = plan
 	evalStart := tr.Begin()
-	rows := plan.Eval()
-	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(rows.Len())})
-	spaceStart := tr.Begin()
-	space, err := assign.NewSpaceFromRows(q, rows, s.morePool)
+	space, streamed, err := assign.NewSpaceFromPlan(q, plan, s.morePool)
 	if err != nil {
 		return nil, fmt.Errorf("oassis: assignment space: %w", err)
 	}
+	// The eval and build phases are fused on the streaming path; both spans
+	// cover the fused interval so existing trace consumers keep their
+	// phase names.
+	tr.End("where_eval", evalStart, obs.Attr{Key: "rows", Val: int64(streamed)})
 	s.space = space
-	tr.End("space_build", spaceStart,
+	tr.End("space_build", evalStart,
 		obs.Attr{Key: "nodes", Val: int64(space.NumNodes())},
 		obs.Attr{Key: "valid", Val: int64(len(space.Valid()))})
 	s.registerGauges()

@@ -1,0 +1,64 @@
+package oassis_test
+
+import (
+	"testing"
+
+	"oassis"
+	"oassis/internal/paperdata"
+)
+
+// TestSessionPlanCacheReuse pins the fleet-serving property the shared plan
+// cache exists for: a second session over the same store and query shape
+// must not compile at all — the Compiles counter stays at one while the
+// cache-hit counter advances — and must still build the identical space.
+func TestSessionPlanCacheReuse(t *testing.T) {
+	v, store := fixture(t)
+	q, err := oassis.ParseQuery(paperdata.SimpleQueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oassis.NewObserver()
+	s1, err := oassis.NewSession(store, q, oassis.WithSeed(1), oassis.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := o.Plan.Compiles.Value(); c != 1 {
+		t.Fatalf("first session: compiles=%d, want 1", c)
+	}
+	if m := o.Plan.CacheMisses.Value(); m != 1 {
+		t.Fatalf("first session: cache misses=%d, want 1", m)
+	}
+
+	s2, err := oassis.NewSession(store, q, oassis.WithSeed(2), oassis.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := o.Plan.Compiles.Value(); c != 1 {
+		t.Fatalf("second session recompiled: compiles=%d, want 1", c)
+	}
+	if h := o.Plan.CacheHits.Value(); h < 1 {
+		t.Fatalf("second session: cache hits=%d, want >= 1", h)
+	}
+	if s1.ValidAssignments() != s2.ValidAssignments() {
+		t.Fatalf("sessions disagree on the space: %d vs %d valid assignments",
+			s1.ValidAssignments(), s2.ValidAssignments())
+	}
+
+	// A reused plan still explains itself with actual cardinalities: the
+	// rebound plan shares the per-operator slots the first eval populated.
+	if explain := s2.PlanExplain(); explain == "" {
+		t.Fatal("second session has no plan explanation")
+	}
+
+	// A different query shape over the same store must miss, not collide.
+	q2, err := oassis.ParseQuery(paperdata.QueryText, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oassis.NewSession(store, q2, oassis.WithSeed(1), oassis.WithObserver(o)); err != nil {
+		t.Fatal(err)
+	}
+	if c := o.Plan.Compiles.Value(); c != 2 {
+		t.Fatalf("distinct shape should compile: compiles=%d, want 2", c)
+	}
+}

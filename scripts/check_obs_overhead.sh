@@ -5,13 +5,20 @@
 #
 # bench-disabled.txt / bench-enabled.txt are `go test -bench
 # BenchmarkEngineThroughput` outputs with OASSIS_BENCH_OBS unset and =1
-# respectively. The disabled-mode questions/s must stay within 3% of the
-# recorded baseline in BENCH_PR5.json ("disabled_questions_per_s"); the
-# enabled-mode overhead is reported but not gated — an attached Observer is
-# allowed to cost something, an absent one is not.
+# respectively. Two gates:
 #
-# The baseline is machine-dependent: re-record BENCH_PR5.json when the CI
-# runner class changes, or override with OBS_BASELINE_QPS for local runs.
+#   1. The disabled-mode questions/s must stay within 3% of the recorded
+#      baseline ("disabled_questions_per_s" in the JSON file) — an absent
+#      Observer costs nothing.
+#   2. The enabled-mode overhead (1 - enabled/disabled) must stay below
+#      "max_enabled_overhead_pct" from the JSON file. Before the border
+#      gauge was repaired (incremental SignificantBorderSize) an attached
+#      Observer cost ~35-40% per round; the gate keeps that regression from
+#      coming back.
+#
+# Both baselines are machine-dependent: re-record the JSON when the CI
+# runner class changes, or override with OBS_BASELINE_QPS /
+# OBS_MAX_OVERHEAD_PCT for local runs.
 set -eu
 
 disabled_file=$1
@@ -34,6 +41,8 @@ if [ -z "$baseline" ]; then
 	exit 1
 fi
 
+max_overhead=${OBS_MAX_OVERHEAD_PCT:-$(sed -n 's/.*"max_enabled_overhead_pct": *\([0-9][0-9]*\).*/\1/p' "$baseline_file" | head -1)}
+
 echo "engine throughput: disabled=${disabled} q/s  enabled=${enabled} q/s  baseline=${baseline} q/s"
 awk -v e="$enabled" -v d="$disabled" 'BEGIN {
 	if (d > 0) printf "observer overhead when enabled: %.1f%%\n", 100 * (1 - e / d)
@@ -47,3 +56,16 @@ awk -v d="$disabled" -v b="$baseline" 'BEGIN {
 	}
 	printf "OK: disabled-mode throughput within 3%% of baseline (floor %.0f q/s)\n", floor
 }'
+
+# Enabled-mode gate: only when the baseline file records a ceiling (older
+# baseline files predate the repaired border gauge and set none).
+if [ -n "$max_overhead" ]; then
+	awk -v e="$enabled" -v d="$disabled" -v m="$max_overhead" 'BEGIN {
+		overhead = 100 * (1 - e / d)
+		if (overhead > m) {
+			printf "FAIL: enabled-mode overhead %.1f%% exceeds ceiling %.0f%% (border gauge or counter hot path regressed)\n", overhead, m
+			exit 1
+		}
+		printf "OK: enabled-mode overhead %.1f%% within ceiling %.0f%%\n", overhead, m
+	}'
+fi
