@@ -50,6 +50,13 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run")
 		traceOut = flag.String("trace", "", "write per-phase trace spans to this JSONL `file`")
 		explain  = flag.Bool("explain", false, "print the compiled WHERE plans of the three evaluation domains")
+
+		fleet        = flag.Bool("fleet", false, "run the ingestion + query-fleet benchmark instead of paper figures")
+		fleetScale   = flag.String("fleet-scale", "million", "fleet ontology scale: million or smoke")
+		fleetQueries = flag.Int("fleet-queries", 1200, "distinct queries in the fleet")
+		fleetExecs   = flag.Int("fleet-execs", 5000, "total query executions (Zipf-skewed over the fleet)")
+		fleetWorkers = flag.Int("fleet-workers", 0, "fleet execution workers (0 = GOMAXPROCS)")
+		fleetOut     = flag.String("fleet-out", "", "write the fleet benchmark report as JSON to this `file`")
 	)
 	flag.Parse()
 	cfg := config{members: 248, dagWidth: 500, dagDepth: 7, trials: 6, lazyWidth: 150, seed: *seed}
@@ -60,6 +67,17 @@ func main() {
 	if *metrics || *traceOut != "" || *explain {
 		o = obs.New()
 		exp.SetObserver(o)
+	}
+	if *fleet {
+		if err := runFleetBench(*fleetScale, *fleetQueries, *fleetExecs, *fleetWorkers, *seed, *fleetOut, o); err != nil {
+			fmt.Fprintln(os.Stderr, "oassis-bench:", err)
+			os.Exit(1)
+		}
+		if err := emit(o, *metrics, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "oassis-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*fig, cfg, o, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis-bench:", err)

@@ -263,6 +263,63 @@ func (m *PlatformMetrics) OrNop() *PlatformMetrics {
 	return m
 }
 
+// IngestMetrics instruments N-Triples ingestion: parsed-triple and derived
+// fact/label counters, skipped-line counters by reason, malformed-input
+// aborts and a wall-clock ingest histogram. A nil *IngestMetrics is a no-op
+// on every method, like every other set in this package.
+type IngestMetrics struct {
+	Triples   *Counter
+	Facts     *Counter
+	Labels    *Counter
+	Skipped   *CounterVec // label: reason (literal | blank)
+	Malformed *Counter
+	Duration  *Histogram
+}
+
+// NewIngestMetrics registers the ontology-ingest metric family in r.
+func NewIngestMetrics(r *Registry) *IngestMetrics {
+	return &IngestMetrics{
+		Triples: r.Counter("oassis_ontology_ingest_triples_total",
+			"N-Triples statements parsed during ingestion."),
+		Facts: r.Counter("oassis_ontology_ingest_facts_total",
+			"Ontology facts derived from ingested triples."),
+		Labels: r.Counter("oassis_ontology_ingest_labels_total",
+			"Element labels attached during ingestion."),
+		Skipped: r.CounterVec("oassis_ontology_ingest_skipped_total",
+			"Triples skipped during ingestion by reason.", "reason"),
+		Malformed: r.Counter("oassis_ontology_ingest_malformed_total",
+			"Ingest runs aborted by a malformed input line."),
+		Duration: r.Histogram("oassis_ontology_ingest_seconds",
+			"Wall-clock duration of whole ingest runs.", DefaultLatencyBuckets),
+	}
+}
+
+// LoadDone records one completed ingest run: the parsed/derived/skipped
+// counts and its wall-clock duration in seconds.
+func (m *IngestMetrics) LoadDone(triples, facts, labels, skippedLiterals, skippedBlank int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.Triples.Add(int64(triples))
+	m.Facts.Add(int64(facts))
+	m.Labels.Add(int64(labels))
+	if skippedLiterals > 0 {
+		m.Skipped.With("literal").Add(int64(skippedLiterals))
+	}
+	if skippedBlank > 0 {
+		m.Skipped.With("blank").Add(int64(skippedBlank))
+	}
+	m.Duration.Observe(seconds)
+}
+
+// LoadFailed records one ingest run aborted on malformed input.
+func (m *IngestMetrics) LoadFailed() {
+	if m == nil {
+		return
+	}
+	m.Malformed.Inc()
+}
+
 // Observer bundles a Registry, a Tracer and every subsystem metric set —
 // the single handle threaded through the engine via oassis.WithObserver /
 // core.EngineConfig.Obs / server.Config.Obs. A nil *Observer disables
@@ -277,6 +334,7 @@ type Observer struct {
 	Plan     *PlanMetrics
 	Server   *ServerMetrics
 	Platform *PlatformMetrics
+	Ingest   *IngestMetrics
 }
 
 // New returns an Observer with a fresh registry, a default-capacity tracer,
@@ -296,6 +354,7 @@ func NewWithCapacity(spans int) *Observer {
 		Plan:     NewPlanMetrics(r),
 		Server:   NewServerMetrics(r),
 		Platform: NewPlatformMetrics(r),
+		Ingest:   NewIngestMetrics(r),
 	}
 }
 
@@ -337,6 +396,14 @@ func (o *Observer) PlatformSet() *PlatformMetrics {
 		return nil
 	}
 	return o.Platform
+}
+
+// IngestSet returns the ontology-ingest metrics (nil for a nil observer).
+func (o *Observer) IngestSet() *IngestMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Ingest
 }
 
 // Trace returns the tracer (nil for a nil observer).

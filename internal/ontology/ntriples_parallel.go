@@ -1,0 +1,551 @@
+package ontology
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"oassis/internal/obs"
+	"oassis/internal/vocab"
+)
+
+// This file is the parallel N-Triples ingestion pipeline. The serial
+// LoadNTriples (ntriples.go) stays as the reference implementation; this
+// pipeline produces a byte-identical vocabulary, store and stats while
+// spreading the expensive work — tokenizing, escape decoding, IRI→name
+// mapping and term interning — across every core. Stages:
+//
+//  1. A chunked reader splits the input into ~1 MiB chunks on line
+//     boundaries and fans them to workers.
+//  2. Per-core workers parse their chunk's lines with the same parser the
+//     serial path uses, intern every derived name through a sharded
+//     read-mostly interner (vocab.ShardedInterner) receiving *provisional*
+//     IDs, and emit a compact op per line.
+//  3. A serial merge replays the ops in input order, assigning final
+//     vocab.TermIDs at first occurrence — the same order the serial loader
+//     interns in — and replaying order edges and errors at their exact
+//     lines. This phase touches only integer remap arrays plus one
+//     map lookup per *unique* term, so it is cheap relative to parsing.
+//  4. Facts are deduplicated in hash shards and the three store indexes
+//     (bySP/byPO/byP) plus the fact set are built by concurrent builders,
+//     overlapped with the vocabulary freeze; Store.Freeze then sorts the
+//     index slices with a parallel worker pool.
+//
+// Determinism argument: provisional IDs are scheduling-dependent, but they
+// are resolved to final IDs only by the merge, which walks ops strictly in
+// input order and interns sub-line names in the exact sequence addNTriple
+// does. Order edges are replayed in the same sequence, so the vocabulary's
+// topological order is identical; store indexes are sets sorted at Freeze,
+// so their construction order is immaterial. See DESIGN.md §12.
+
+// LoadOptions tunes LoadNTriplesParallel. The zero value picks defaults.
+type LoadOptions struct {
+	// Workers is the parse worker count; <= 0 uses GOMAXPROCS.
+	Workers int
+	// ChunkBytes is the reader chunk size; <= 0 uses 1 MiB.
+	ChunkBytes int
+	// Obs, when set, feeds the ingest counters and records per-stage spans
+	// (ingest_parse, ingest_merge, ingest_index, ingest_freeze) on the
+	// trace. Nil disables observation.
+	Obs *obs.Observer
+}
+
+// maxNTripleLine caps a single input line, matching the serial scanner's
+// 16 MiB token limit (and its bufio.ErrTooLong failure mode).
+const maxNTripleLine = 16 * 1024 * 1024
+
+// LoadNTriplesParallel parses N-Triples into a fresh vocabulary and store,
+// freezing both — exactly like LoadNTriples, but on every core. The result
+// (TermIDs, order edges, indexes, labels, stats, and error positions) is
+// byte-identical to the serial loader's.
+func LoadNTriplesParallel(r io.Reader, opt LoadOptions) (*vocab.Vocabulary, *Store, *NTriplesStats, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunkBytes := opt.ChunkBytes
+	if chunkBytes <= 0 {
+		chunkBytes = 1 << 20
+	}
+	tr := opt.Obs.Trace()
+	im := opt.Obs.IngestSet()
+	loadStart := tr.Begin()
+
+	// Stage 1+2: chunk and parse concurrently.
+	parseStart := tr.Begin()
+	ei := vocab.NewShardedInterner()
+	ri := vocab.NewShardedInterner()
+	results := parseAllChunks(r, chunkBytes, workers, ei, ri)
+	var totalLines int
+	for _, cr := range results {
+		totalLines += cr.lines
+	}
+	tr.End("ingest_parse", parseStart,
+		obs.Attr{Key: "chunks", Val: int64(len(results))},
+		obs.Attr{Key: "lines", Val: int64(totalLines)},
+		obs.Attr{Key: "workers", Val: int64(workers)})
+
+	// Stage 3: deterministic merge.
+	mergeStart := tr.Begin()
+	v := vocab.New()
+	s := NewStore(v)
+	stats := &NTriplesStats{}
+	facts, err := mergeOps(results, v, s, stats, ei, ri)
+	tr.End("ingest_merge", mergeStart, obs.Attr{Key: "facts", Val: int64(len(facts))})
+	if err != nil {
+		im.LoadFailed()
+		return nil, nil, nil, err
+	}
+
+	// Stage 4: store build overlapped with the vocabulary freeze.
+	buildStart := tr.Begin()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buildStoreIndexes(s, facts, workers)
+	}()
+	freezeErr := v.Freeze()
+	<-done
+	if freezeErr != nil {
+		im.LoadFailed()
+		return nil, nil, nil, fmt.Errorf("ntriples: %w", freezeErr)
+	}
+	tr.End("ingest_index", buildStart, obs.Attr{Key: "unique_facts", Val: int64(s.Size())})
+
+	freezeStart := tr.Begin()
+	s.Freeze()
+	tr.End("ingest_freeze", freezeStart)
+
+	im.LoadDone(stats.Triples, stats.Facts, stats.Labels,
+		stats.SkippedLiterals, stats.SkippedBlank, (tr.Begin() - loadStart).Seconds())
+	return v, s, stats, nil
+}
+
+// --- stage 1+2: chunked reading and parallel parsing ---
+
+type ntChunk struct {
+	index int
+	data  []byte
+	err   error // reader-side failure attributed to this chunk position
+}
+
+// ingestOp is one parsed line, compact enough to stream millions through
+// the merge. a/b/c are provisional interner IDs whose meaning depends on
+// kind; line is 1-based within the chunk.
+type ingestOp struct {
+	lit     string // label literal (opLabel only)
+	a, b, c uint32
+	line    int32
+	kind    uint8
+}
+
+const (
+	opSkipBlank   uint8 = iota // blank-node triple: SkippedBlank++
+	opSkipLiteral              // non-label literal object: Triples++, SkippedLiterals++
+	opTripleNop                // rdfs:label with IRI object: Triples++ only
+	opLabel                    // a=subject element, b=hasLabel relation, lit=label
+	opSubProp                  // a=specific relation (subject), b=general relation (object)
+	opFactPlain                // a=subject element, b=object element, c=relation
+	opFactOrder                // opFactPlain + OrderElements(object, subject)
+)
+
+type chunkResult struct {
+	ops     []ingestOp
+	lines   int   // lines in this chunk (parse stops early on error)
+	errLine int32 // 1-based line of err within the chunk; <= 0 means line-less
+	err     error
+}
+
+// parseAllChunks runs the chunked reader and the worker pool to completion,
+// returning per-chunk results in input order. Errors are carried inside the
+// results so the merge can surface the first one in line order.
+func parseAllChunks(r io.Reader, chunkBytes, workers int, ei, ri *vocab.ShardedInterner) []*chunkResult {
+	chunks := make(chan ntChunk, workers)
+	var (
+		mu      sync.Mutex
+		results []*chunkResult
+	)
+	put := func(idx int, cr *chunkResult) {
+		mu.Lock()
+		for len(results) <= idx {
+			results = append(results, nil)
+		}
+		results[idx] = cr
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ch := range chunks {
+				if ch.err != nil {
+					put(ch.index, &chunkResult{err: ch.err, errLine: -1})
+					continue
+				}
+				put(ch.index, parseChunk(ch.data, ei, ri))
+			}
+		}()
+	}
+	readChunks(r, chunkBytes, chunks)
+	close(chunks)
+	wg.Wait()
+	return results
+}
+
+// readChunks slices r into line-aligned chunks of roughly chunkBytes each
+// and sends them downstream. A read failure or an unterminated line beyond
+// the 16 MiB cap is attributed to the chunk position where it occurred.
+func readChunks(r io.Reader, chunkBytes int, out chan<- ntChunk) {
+	var pending []byte
+	index := 0
+	for {
+		buf := make([]byte, chunkBytes)
+		n, err := io.ReadFull(r, buf)
+		data := buf[:n]
+		if n > 0 {
+			if nl := bytes.LastIndexByte(data, '\n'); nl >= 0 {
+				chunkData := make([]byte, 0, len(pending)+nl+1)
+				chunkData = append(chunkData, pending...)
+				chunkData = append(chunkData, data[:nl+1]...)
+				pending = append(pending[:0], data[nl+1:]...)
+				out <- ntChunk{index: index, data: chunkData}
+				index++
+			} else {
+				pending = append(pending, data...)
+			}
+			if len(pending) > maxNTripleLine {
+				out <- ntChunk{index: index, err: bufio.ErrTooLong}
+				return
+			}
+		}
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				if len(pending) > 0 {
+					out <- ntChunk{index: index, data: pending}
+				}
+				return
+			}
+			out <- ntChunk{index: index, err: err}
+			return
+		}
+	}
+}
+
+// parseChunk tokenizes one chunk with the serial path's line parser and
+// interns every derived name, emitting one op per line. It stops at the
+// chunk's first malformed line, mirroring the serial loader's abort.
+func parseChunk(data []byte, ei, ri *vocab.ShardedInterner) *chunkResult {
+	res := &chunkResult{ops: make([]ingestOp, 0, bytes.Count(data, []byte{'\n'})+1)}
+	for start := 0; start < len(data); {
+		var lineBytes []byte
+		if nl := bytes.IndexByte(data[start:], '\n'); nl >= 0 {
+			lineBytes = data[start : start+nl]
+			start += nl + 1
+		} else {
+			lineBytes = data[start:]
+			start = len(data)
+		}
+		res.lines++
+		if len(lineBytes) > maxNTripleLine {
+			res.err = bufio.ErrTooLong
+			res.errLine = -1
+			return res
+		}
+		trimmed := bytes.TrimSpace(lineBytes)
+		if len(trimmed) == 0 || trimmed[0] == '#' {
+			continue
+		}
+		t, err := parseNTriple(string(trimmed))
+		if err != nil {
+			res.err = err
+			res.errLine = int32(res.lines)
+			return res
+		}
+		res.addOp(t, int32(res.lines), ei, ri)
+	}
+	return res
+}
+
+// addOp lowers one parsed triple to an op, interning names in the exact
+// order addNTriple does so the merge can replay first occurrences.
+func (res *chunkResult) addOp(t ntriple, line int32, ei, ri *vocab.ShardedInterner) {
+	if t.blank {
+		res.ops = append(res.ops, ingestOp{kind: opSkipBlank, line: line})
+		return
+	}
+	switch t.pred {
+	case iriLabel:
+		if !t.isLiteral {
+			res.ops = append(res.ops, ingestOp{kind: opTripleNop, line: line})
+			return
+		}
+		res.ops = append(res.ops, ingestOp{kind: opLabel, line: line,
+			a: ei.Intern(localName(t.subj)), b: ri.Intern(RelHasLabel), lit: t.objLit})
+		return
+	case iriSubPropertyOf:
+		if t.isLiteral {
+			res.ops = append(res.ops, ingestOp{kind: opSkipLiteral, line: line})
+			return
+		}
+		res.ops = append(res.ops, ingestOp{kind: opSubProp, line: line,
+			a: ri.Intern(localName(t.subj)), b: ri.Intern(localName(t.objIRI))})
+		return
+	}
+	if t.isLiteral {
+		res.ops = append(res.ops, ingestOp{kind: opSkipLiteral, line: line})
+		return
+	}
+	var rel string
+	switch t.pred {
+	case iriSubClassOf:
+		rel = RelSubClassOf
+	case iriType:
+		rel = RelInstanceOf
+	default:
+		rel = localName(t.pred)
+	}
+	kind := opFactPlain
+	// The serial path keys the ordering decision on the derived relation
+	// name, not the predicate IRI, so any IRI whose local name collides
+	// with subClassOf/instanceOf orders elements too. Mirror that.
+	if rel == RelSubClassOf || rel == RelInstanceOf {
+		kind = opFactOrder
+	}
+	res.ops = append(res.ops, ingestOp{kind: kind, line: line,
+		a: ei.Intern(localName(t.subj)), b: ei.Intern(localName(t.objIRI)), c: ri.Intern(rel)})
+}
+
+// --- stage 3: deterministic merge ---
+
+// mergeOps replays the per-chunk ops in input order against a fresh
+// vocabulary, assigning final TermIDs in first-occurrence order, recording
+// labels and order edges, and accumulating the (not yet deduplicated) fact
+// stream. Errors — parse failures and vocabulary violations alike — surface
+// at the same absolute line, with the same message, as the serial loader's.
+func mergeOps(results []*chunkResult, v *vocab.Vocabulary, s *Store, stats *NTriplesStats, ei, ri *vocab.ShardedInterner) ([]Fact, error) {
+	remapE := newRemap(ei.ProvBound())
+	remapR := newRemap(ri.ProvBound())
+	elemID := func(prov uint32) (vocab.TermID, error) {
+		if id := remapE[prov]; id != vocab.NoTerm {
+			return id, nil
+		}
+		id, err := v.AddElement(ei.Name(prov))
+		if err != nil {
+			return vocab.NoTerm, err
+		}
+		remapE[prov] = id
+		return id, nil
+	}
+	relID := func(prov uint32) (vocab.TermID, error) {
+		if id := remapR[prov]; id != vocab.NoTerm {
+			return id, nil
+		}
+		id, err := v.AddRelation(ri.Name(prov))
+		if err != nil {
+			return vocab.NoTerm, err
+		}
+		remapR[prov] = id
+		return id, nil
+	}
+
+	nFacts := 0
+	for _, cr := range results {
+		for i := range cr.ops {
+			if k := cr.ops[i].kind; k == opFactPlain || k == opFactOrder {
+				nFacts++
+			}
+		}
+	}
+	facts := make([]Fact, 0, nFacts)
+
+	base := 0
+	for _, cr := range results {
+		if cr == nil {
+			continue
+		}
+		for i := range cr.ops {
+			op := &cr.ops[i]
+			lineErr := func(err error) error {
+				return fmt.Errorf("ntriples: line %d: %w", base+int(op.line), err)
+			}
+			switch op.kind {
+			case opSkipBlank:
+				stats.SkippedBlank++
+			case opSkipLiteral:
+				stats.Triples++
+				stats.SkippedLiterals++
+			case opTripleNop:
+				stats.Triples++
+			case opLabel:
+				stats.Triples++
+				e, err := elemID(op.a)
+				if err != nil {
+					return nil, lineErr(err)
+				}
+				if _, err := relID(op.b); err != nil {
+					return nil, lineErr(err)
+				}
+				stats.Labels++
+				if err := s.AddLabel(e, op.lit); err != nil {
+					return nil, lineErr(err)
+				}
+			case opSubProp:
+				stats.Triples++
+				spec, err := relID(op.a)
+				if err != nil {
+					return nil, lineErr(err)
+				}
+				gen, err := relID(op.b)
+				if err != nil {
+					return nil, lineErr(err)
+				}
+				if err := v.OrderRelations(gen, spec); err != nil {
+					return nil, lineErr(err)
+				}
+			case opFactPlain, opFactOrder:
+				stats.Triples++
+				se, err := elemID(op.a)
+				if err != nil {
+					return nil, lineErr(err)
+				}
+				oe, err := elemID(op.b)
+				if err != nil {
+					return nil, lineErr(err)
+				}
+				p, err := relID(op.c)
+				if err != nil {
+					return nil, lineErr(err)
+				}
+				if op.kind == opFactOrder {
+					if err := v.OrderElements(oe, se); err != nil {
+						return nil, lineErr(err)
+					}
+				}
+				stats.Facts++
+				facts = append(facts, Fact{S: se, P: p, O: oe})
+			}
+		}
+		if cr.err != nil {
+			if cr.errLine <= 0 {
+				return nil, fmt.Errorf("ntriples: %w", cr.err)
+			}
+			return nil, fmt.Errorf("ntriples: line %d: %w", base+int(cr.errLine), cr.err)
+		}
+		base += cr.lines
+	}
+	return facts, nil
+}
+
+func newRemap(bound uint32) []vocab.TermID {
+	m := make([]vocab.TermID, bound)
+	for i := range m {
+		m[i] = vocab.NoTerm
+	}
+	return m
+}
+
+// --- stage 4: parallel store construction ---
+
+// smallStoreThreshold is the fact-stream size below which fanning index
+// construction out to goroutines costs more than it saves.
+const smallStoreThreshold = 4096
+
+// buildStoreIndexes populates the store's fact set and the three
+// triple-pattern indexes from the merged fact stream. Duplicate facts are
+// dropped exactly as repeated Store.Add calls would drop them; the indexes
+// are sets whose slices Store.Freeze sorts, so build order is immaterial.
+func buildStoreIndexes(s *Store, facts []Fact, workers int) {
+	if len(facts) < smallStoreThreshold || workers <= 1 {
+		for _, f := range facts {
+			s.MustAdd(f)
+		}
+		return
+	}
+
+	// Deduplicate in hash shards, in parallel.
+	shards := workers
+	if shards > 16 {
+		shards = 16
+	}
+	uniq := make([][]Fact, shards)
+	var wg sync.WaitGroup
+	for p := 0; p < shards; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			seen := make(map[Fact]struct{}, len(facts)/shards+1)
+			var u []Fact
+			for _, f := range facts {
+				if factShard(f, shards) != p {
+					continue
+				}
+				if _, dup := seen[f]; dup {
+					continue
+				}
+				seen[f] = struct{}{}
+				u = append(u, f)
+			}
+			uniq[p] = u
+		}(p)
+	}
+	wg.Wait()
+	n := 0
+	for _, u := range uniq {
+		n += len(u)
+	}
+
+	// Build the fact set and each index concurrently: four independent
+	// passes over the deduplicated stream.
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		m := make(map[Fact]struct{}, n)
+		for _, u := range uniq {
+			for _, f := range u {
+				m[f] = struct{}{}
+			}
+		}
+		s.facts = m
+	}()
+	go func() {
+		defer wg.Done()
+		m := make(map[spKey][]vocab.TermID, n/2+1)
+		for _, u := range uniq {
+			for _, f := range u {
+				m[spKey{f.S, f.P}] = append(m[spKey{f.S, f.P}], f.O)
+			}
+		}
+		s.bySP = m
+	}()
+	go func() {
+		defer wg.Done()
+		m := make(map[spKey][]vocab.TermID, n/2+1)
+		for _, u := range uniq {
+			for _, f := range u {
+				m[spKey{f.P, f.O}] = append(m[spKey{f.P, f.O}], f.S)
+			}
+		}
+		s.byPO = m
+	}()
+	go func() {
+		defer wg.Done()
+		m := make(map[vocab.TermID][]Fact, 64)
+		for _, u := range uniq {
+			for _, f := range u {
+				m[f.P] = append(m[f.P], f)
+			}
+		}
+		s.byP = m
+	}()
+	wg.Wait()
+}
+
+// factShard hashes a fact to a dedup shard.
+func factShard(f Fact, shards int) int {
+	h := uint32(f.S)*2654435761 ^ uint32(f.P)*40503 ^ uint32(f.O)*2246822519
+	return int(h % uint32(shards))
+}

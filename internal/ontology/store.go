@@ -2,6 +2,7 @@ package ontology
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -143,22 +144,33 @@ func (s *Store) LabeledElements(label string) []vocab.TermID {
 	return out
 }
 
-// Freeze sorts all indexes; the store becomes immutable.
+// freezeSortParallelThreshold is the fact count above which Freeze fans the
+// per-key index sorts out to a worker pool. Sorting is deterministic either
+// way; the threshold only avoids goroutine overhead on small stores.
+const freezeSortParallelThreshold = 1 << 16
+
+// Freeze sorts all indexes; the store becomes immutable. On large stores
+// the independent per-key sorts run on a GOMAXPROCS-wide worker pool (the
+// result is identical — every slice is sorted with the same comparator).
 func (s *Store) Freeze() {
 	if s.frozen {
 		return
 	}
-	for k := range s.bySP {
-		ids := s.bySP[k]
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	}
-	for k := range s.byPO {
-		ids := s.byPO[k]
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	}
-	for p := range s.byP {
-		fs := s.byP[p]
-		sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+	if workers := runtime.GOMAXPROCS(0); len(s.facts) >= freezeSortParallelThreshold && workers > 1 {
+		s.sortIndexesParallel(workers)
+	} else {
+		for k := range s.bySP {
+			ids := s.bySP[k]
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		}
+		for k := range s.byPO {
+			ids := s.byPO[k]
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		}
+		for p := range s.byP {
+			fs := s.byP[p]
+			sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+		}
 	}
 	s.predList = make([]vocab.TermID, 0, len(s.byP))
 	for p := range s.byP {
@@ -176,6 +188,53 @@ func (s *Store) Freeze() {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 	s.frozen = true
+}
+
+// sortIndexesParallel distributes the per-key sorts of bySP/byPO/byP over a
+// worker pool. Each slice is independent, so workers pull them off shared
+// work lists with an atomic cursor.
+func (s *Store) sortIndexesParallel(workers int) {
+	idSlices := make([][]vocab.TermID, 0, len(s.bySP)+len(s.byPO))
+	for k := range s.bySP {
+		idSlices = append(idSlices, s.bySP[k])
+	}
+	for k := range s.byPO {
+		idSlices = append(idSlices, s.byPO[k])
+	}
+	factSlices := make([][]Fact, 0, len(s.byP))
+	for p := range s.byP {
+		factSlices = append(factSlices, s.byP[p])
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	const batch = 256
+	total := int64(len(idSlices) + len(factSlices))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := next.Add(batch) - batch
+				if lo >= total {
+					return
+				}
+				hi := lo + batch
+				if hi > total {
+					hi = total
+				}
+				for i := lo; i < hi; i++ {
+					if i < int64(len(idSlices)) {
+						ids := idSlices[i]
+						sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+					} else {
+						fs := factSlices[i-int64(len(idSlices))]
+						sort.Slice(fs, func(a, b int) bool { return fs[a].Less(fs[b]) })
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Size returns the number of stored facts.

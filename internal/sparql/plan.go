@@ -966,6 +966,52 @@ func (pl *Plan) runSemDispatch(ex *exec, o *op, i int) {
 	}
 }
 
+// semScanFloor is the per-predicate fact count below which runSemTriple
+// always takes the linear scan: index probing cannot beat a scan this short.
+const semScanFloor = 64
+
+// semCandidates returns the facts runSemTriple must consider for a pattern
+// with the given bound sides, in byP order (Fact.Less, i.e. (S, O) within
+// one predicate). When a side is bound and its descendant cone is small
+// relative to the predicate's fact list, the candidates are collected
+// through the bySP/byPO point indexes and re-sorted into byP order —
+// exactly the subsequence of the full scan that survives that side's ≤
+// filter, at a fraction of the cost. Otherwise it returns the shared byP
+// slice and the caller's per-fact filters do the work as before.
+func (pl *Plan) semCandidates(pred vocab.TermID, s vocab.TermID, sOK bool, obj vocab.TermID, oOK bool) []ontology.Fact {
+	st, v := pl.store, pl.v
+	all := st.FactsWithPredicate(pred)
+	if len(all) <= semScanFloor || (!sOK && !oOK) {
+		return all
+	}
+	if sOK {
+		// f ≤ g needs s ≤ g.S: stored subjects range over s's descendants.
+		if desc := v.ElementDescendants(s); len(desc)*8 <= len(all) {
+			var out []ontology.Fact
+			for _, d := range desc {
+				for _, ob := range st.Objects(d, pred) {
+					out = append(out, ontology.Fact{S: d, P: pred, O: ob})
+				}
+			}
+			sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+			return out
+		}
+	}
+	if oOK {
+		if desc := v.ElementDescendants(obj); len(desc)*8 <= len(all) {
+			var out []ontology.Fact
+			for _, d := range desc {
+				for _, sb := range st.Subjects(pred, d) {
+					out = append(out, ontology.Fact{S: sb, P: pred, O: d})
+				}
+			}
+			sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+			return out
+		}
+	}
+	return all
+}
+
 // runSemTriple matches the pattern against facts stored under one concrete
 // predicate with Definition 2.5 semantics: a stored fact g witnesses the
 // pattern fact f when f ≤ g, and free variables additionally range over
@@ -974,7 +1020,7 @@ func (pl *Plan) runSemTriple(ex *exec, o *op, pred vocab.TermID, i int) {
 	v := pl.v
 	s, sOK := ex.resolve(o.s)
 	obj, oOK := ex.resolve(o.o)
-	for _, g := range pl.store.FactsWithPredicate(pred) {
+	for _, g := range pl.semCandidates(pred, s, sOK, obj, oOK) {
 		if ex.stop {
 			return
 		}

@@ -1,0 +1,153 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oassis/internal/obs"
+	"oassis/internal/ontology"
+)
+
+func TestWriteScaleNTriplesDeterministic(t *testing.T) {
+	cfg := SmokeScale()
+	var a, b bytes.Buffer
+	if err := WriteScaleNTriples(&a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteScaleNTriples(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("generator is not deterministic")
+	}
+	if got := strings.Count(a.String(), "\n"); got != cfg.TripleCount() {
+		t.Fatalf("emitted %d lines, TripleCount says %d", got, cfg.TripleCount())
+	}
+}
+
+func TestScaleIngestSerialParallelAgree(t *testing.T) {
+	cfg := SmokeScale()
+	var buf bytes.Buffer
+	if err := WriteScaleNTriples(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sv, ss, sstats, err := ontology.LoadNTriples(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, ps, pstats, err := ontology.LoadNTriplesParallel(bytes.NewReader(buf.Bytes()), ontology.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *sstats != *pstats {
+		t.Fatalf("stats divergence: %+v vs %+v", *sstats, *pstats)
+	}
+	if sv.NumElements() != pv.NumElements() || sv.NumRelations() != pv.NumRelations() {
+		t.Fatalf("vocab divergence: (%d,%d) vs (%d,%d)",
+			sv.NumElements(), sv.NumRelations(), pv.NumElements(), pv.NumRelations())
+	}
+	if ss.Size() != ps.Size() {
+		t.Fatalf("store divergence: %d vs %d facts", ss.Size(), ps.Size())
+	}
+	if sstats.Triples != cfg.TripleCount() {
+		t.Fatalf("parsed %d triples, generator claims %d", sstats.Triples, cfg.TripleCount())
+	}
+	// The generated names must round-trip into the vocabulary, including
+	// the percent-encoded IRI spellings.
+	for _, name := range []string{ScaleClassName(3), ScaleClassName(10), ScaleInstName(4), ScaleInstName(0)} {
+		if pv.Element(name) == 0 && name != pv.ElementName(0) {
+			t.Fatalf("element %q missing from vocabulary", name)
+		}
+	}
+}
+
+func TestSampleFleetShapes(t *testing.T) {
+	scale := SmokeScale()
+	fleet := SampleFleet(scale, FleetConfig{Queries: 400, Seed: 9})
+	if len(fleet) != 400 {
+		t.Fatalf("sampled %d queries, want 400", len(fleet))
+	}
+	counts := map[int]int{}
+	sem := 0
+	texts := map[string]bool{}
+	for _, fq := range fleet {
+		if fq.Patterns < 1 || fq.Patterns > 4 {
+			t.Fatalf("query with %d patterns outside [1,4]", fq.Patterns)
+		}
+		counts[fq.Patterns]++
+		if fq.Semantic {
+			sem++
+		}
+		texts[fq.Text] = true
+	}
+	// Single-pattern stars must dominate per the log-derived distribution.
+	if counts[1] <= counts[2] || counts[2] <= counts[3]+counts[4] {
+		t.Fatalf("shape distribution off: %v", counts)
+	}
+	if sem == 0 || sem == len(fleet) {
+		t.Fatalf("semantic mix degenerate: %d of %d", sem, len(fleet))
+	}
+	// Distinctness is (text, mode); texts alone may coincide across modes
+	// but the overwhelming majority must be unique.
+	if len(texts) < 350 {
+		t.Fatalf("only %d distinct texts of 400", len(texts))
+	}
+}
+
+func loadSmokeStore(t testing.TB) *ontology.Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteScaleNTriples(&buf, SmokeScale()); err != nil {
+		t.Fatal(err)
+	}
+	_, store, _, err := ontology.LoadNTriplesParallel(bytes.NewReader(buf.Bytes()), ontology.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func TestRunFleet(t *testing.T) {
+	store := loadSmokeStore(t)
+	o := obs.New()
+	cfg := FleetConfig{Queries: 150, Executions: 600, Workers: 4, Seed: 5, Obs: o}
+	fleet := SampleFleet(SmokeScale(), cfg)
+	rep, err := RunFleet(store, fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DistinctQueries != 150 || rep.Executions != 600 {
+		t.Fatalf("report counts off: %+v", rep)
+	}
+	if rep.PlanCacheHits == 0 {
+		t.Fatal("Zipf-skewed schedule produced no plan-cache hits")
+	}
+	if rep.CacheHitRate <= 0 || rep.CacheHitRate >= 1 {
+		t.Fatalf("cache hit rate %v outside (0,1)", rep.CacheHitRate)
+	}
+	if rep.QueriesPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", rep)
+	}
+	if rep.SemanticQueries == 0 {
+		t.Fatal("no semantic queries in the mix")
+	}
+}
+
+// BenchmarkFleet measures fleet throughput at smoke scale (CI bench-smoke);
+// the full million-triple figure comes from `oassis-bench -fleet`.
+func BenchmarkFleet(b *testing.B) {
+	store := loadSmokeStore(b)
+	cfg := FleetConfig{Queries: 200, Executions: 800, Seed: 5}
+	fleet := SampleFleet(SmokeScale(), cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunFleet(store, fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("fleet: %.0f q/s, cache hit rate %.2f", rep.QueriesPerSec, rep.CacheHitRate)
+		}
+	}
+}

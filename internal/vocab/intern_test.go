@@ -1,0 +1,76 @@
+package vocab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedInternerRoundTrip(t *testing.T) {
+	si := NewShardedInterner()
+	names := make([]string, 500)
+	ids := make([]uint32, 500)
+	for i := range names {
+		names[i] = fmt.Sprintf("term-%d", i)
+		ids[i] = si.Intern(names[i])
+	}
+	for i := range names {
+		if got := si.Intern(names[i]); got != ids[i] {
+			t.Fatalf("re-intern %q: got %d want %d", names[i], got, ids[i])
+		}
+		if got := si.Name(ids[i]); got != names[i] {
+			t.Fatalf("Name(%d) = %q want %q", ids[i], got, names[i])
+		}
+	}
+	if si.Len() != len(names) {
+		t.Fatalf("Len = %d want %d", si.Len(), len(names))
+	}
+	seen := make(map[uint32]bool, len(ids))
+	bound := si.ProvBound()
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate provisional ID %d", id)
+		}
+		seen[id] = true
+		if id >= bound {
+			t.Fatalf("ID %d >= ProvBound %d", id, bound)
+		}
+	}
+}
+
+func TestShardedInternerConcurrent(t *testing.T) {
+	si := NewShardedInterner()
+	const workers, perWorker = 8, 2000
+	got := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]uint32, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Heavy overlap across workers: only 300 distinct names.
+				out[i] = si.Intern(fmt.Sprintf("shared-%d", (w*perWorker+i)%300))
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+	if si.Len() != 300 {
+		t.Fatalf("Len = %d want 300", si.Len())
+	}
+	// Every worker must agree on the ID for a given name.
+	canon := make(map[string]uint32)
+	for w := 0; w < workers; w++ {
+		for i, id := range got[w] {
+			name := fmt.Sprintf("shared-%d", (w*perWorker+i)%300)
+			if prev, ok := canon[name]; ok && prev != id {
+				t.Fatalf("ID disagreement for %q: %d vs %d", name, prev, id)
+			}
+			canon[name] = id
+			if si.Name(id) != name {
+				t.Fatalf("Name(%d) = %q want %q", id, si.Name(id), name)
+			}
+		}
+	}
+}

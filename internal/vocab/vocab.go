@@ -12,6 +12,7 @@ package vocab
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // TermID identifies an interned element or relation name. Element IDs and
@@ -70,6 +71,16 @@ type namespace struct {
 	topo []TermID
 	// depth[id] is the length of the longest chain from a root to id.
 	depth []int
+	// ancList[id] memoizes the ancestor list ElementAncestors derives from
+	// the ancestors bitset. Materializing a list costs a full topo scan, and
+	// semantic-mode pattern matching asks for the same elements' ancestors
+	// once per stored fact — without the memo that scan turns quadratic in
+	// vocabulary size. Filled lazily, published atomically; lists are stored
+	// with no spare capacity so callers appending to one reallocate instead
+	// of clobbering the shared backing array. descList is the same memo for
+	// Descendants.
+	ancList  []atomic.Pointer[[]TermID]
+	descList []atomic.Pointer[[]TermID]
 }
 
 func newNamespace() *namespace {
@@ -165,8 +176,30 @@ func (n *namespace) freeze() error {
 		sortIDs(n.parents[id])
 		sortIDs(n.children[id])
 	}
+	n.ancList = make([]atomic.Pointer[[]TermID], size)
+	n.descList = make([]atomic.Pointer[[]TermID], size)
 	n.frozen = true
 	return nil
+}
+
+// ancestorList returns id's ancestors in topological general-first order,
+// memoized. The returned slice is shared and capacity-capped: callers may
+// read or append (append reallocates) but must not write elements in place.
+func (n *namespace) ancestorList(id TermID) []TermID {
+	if p := n.ancList[id].Load(); p != nil {
+		return *p
+	}
+	out := []TermID{}
+	for _, t := range n.topo {
+		if t != id && n.ancestors[id].has(int(t)) {
+			out = append(out, t)
+		}
+	}
+	out = out[:len(out):len(out)]
+	// Concurrent computations produce identical lists, so a lost race just
+	// publishes an equal slice.
+	n.ancList[id].Store(&out)
+	return out
 }
 
 func sortIDs(ids []TermID) {
@@ -330,12 +363,14 @@ func (v *Vocabulary) ElementsTopo() []TermID { return v.elems.topo }
 func (v *Vocabulary) RelationsTopo() []TermID { return v.rels.topo }
 
 // ElementDescendants returns id and every element e with id ≤ℰ e, in
-// topological (general-first) order.
+// topological (general-first) order. The result is memoized and shared;
+// callers must not modify it in place.
 func (v *Vocabulary) ElementDescendants(id TermID) []TermID {
 	return descendants(v.elems, id)
 }
 
-// RelationDescendants returns id and every relation r with id ≤ℛ r.
+// RelationDescendants returns id and every relation r with id ≤ℛ r. The
+// result is memoized and shared; callers must not modify it in place.
 func (v *Vocabulary) RelationDescendants(id TermID) []TermID {
 	return descendants(v.rels, id)
 }
@@ -347,17 +382,24 @@ func descendants(n *namespace, id TermID) []TermID {
 	if !n.frozen {
 		panic("vocab: Descendants before Freeze")
 	}
+	if p := n.descList[id].Load(); p != nil {
+		return *p
+	}
 	out := []TermID{}
 	for _, t := range n.topo {
 		if t == id || n.ancestors[t].has(int(id)) {
 			out = append(out, t)
 		}
 	}
+	out = out[:len(out):len(out)]
+	n.descList[id].Store(&out)
 	return out
 }
 
-// ElementAncestors returns every strict generalization of id (unsorted by
-// depth; topological general-first order).
+// ElementAncestors returns every strict generalization of id in topological
+// general-first order. The result is memoized and shared: callers may read
+// it or append to it (Go reallocates — the list is stored capacity-capped)
+// but must not write its elements in place.
 func (v *Vocabulary) ElementAncestors(id TermID) []TermID {
 	n := v.elems
 	if !n.valid(id) {
@@ -366,13 +408,7 @@ func (v *Vocabulary) ElementAncestors(id TermID) []TermID {
 	if !n.frozen {
 		panic("vocab: Ancestors before Freeze")
 	}
-	out := []TermID{}
-	for _, t := range n.topo {
-		if t != id && n.ancestors[id].has(int(t)) {
-			out = append(out, t)
-		}
-	}
-	return out
+	return n.ancestorList(id)
 }
 
 // ElementRoots returns the most general elements (those with no parents).
