@@ -46,6 +46,8 @@ func main() {
 	var (
 		fig      = flag.String("fig", "all", "figure id: 4a 4b 4c 4d 4e 4f 5a 5b 5c text63 text64 growth ablation chaos all none (9/10/11 alias 5a/5b/5c)")
 		quick    = flag.Bool("quick", false, "scaled-down configuration (seconds instead of minutes)")
+		members  = flag.Int("members", 0, "override the synthetic crowd size (0 = figure default: 248, or 40 with -quick)")
+		selWork  = flag.Int("selection-workers", 0, "shard per-round question selection across this many goroutines (0/1 = serial kernel; figures are byte-identical either way)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		metrics  = flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run")
 		traceOut = flag.String("trace", "", "write per-phase trace spans to this JSONL `file`")
@@ -63,6 +65,10 @@ func main() {
 	if *quick {
 		cfg = config{members: 40, dagWidth: 100, dagDepth: 5, trials: 3, lazyWidth: 80, seed: *seed}
 	}
+	if *members > 0 {
+		cfg.members = *members
+	}
+	exp.SetSelectionWorkers(*selWork)
 	var o *obs.Observer
 	if *metrics || *traceOut != "" || *explain {
 		o = obs.New()

@@ -60,9 +60,13 @@ type kernel struct {
 	// unknown); inFlight counts the current round's asks per assignment
 	// so the kernel never schedules more answers than the quota needs —
 	// the crowd spreads across the frontier instead of dog-piling one
-	// node, matching what the apply-as-you-go sequential loop did.
-	quota    int
-	inFlight map[assign.NodeID]int
+	// node, matching what the apply-as-you-go sequential loop did. It is
+	// a NodeID-indexed slice presized from the space's interned-node
+	// count; inFlightTouched lists the entries to zero at the next round
+	// start, so the reset costs O(asks), not O(nodes).
+	quota           int
+	inFlight        []int32
+	inFlightTouched []assign.NodeID
 
 	// Per-selectMining traversal scratch, reused across calls: visited
 	// is an epoch-stamped per-node mark (a slot equals epoch iff the
@@ -78,10 +82,30 @@ type kernel struct {
 	km *obs.KernelMetrics
 
 	nextAskID int64
-	// transcripts records, per member, every usable answer in order —
-	// the driver-independent interview log the differential tests
-	// compare across execution modes. Nil unless cfg.RecordTranscript.
-	transcripts map[string][]string
+
+	// sel holds the parallel round-selection machinery (kernel_parallel.go);
+	// nil means the kernel runs fully serially.
+	sel *selector
+
+	// rngReplay feeds recorded values back to drawFloat ahead of the live
+	// rng. Only the parallel commit queues values here: when a speculative
+	// draw succeeds, the serial re-selection must consume the exact prefix
+	// the commit already drew (see kernel_parallel.go). drawBuf is commit
+	// scratch for those draws.
+	rngReplay []float64
+	drawBuf   []float64
+
+	// commitTouched, non-nil only during a parallel commit, records every
+	// assignment the aggregator received an answer for during the commit;
+	// speculative auto-answers are validated against it.
+	commitTouched map[assign.NodeID]bool
+
+	// confirmWit is the per-border-node confirmation witness, indexed by
+	// NodeID: successors(b)[0..confirmWit[b]) are all known insignificant.
+	// Statuses are final, so a witness only ever advances — re-checking a
+	// border node costs O(its newly insignificant successors), not
+	// O(successor list), per settle.
+	confirmWit []int32
 }
 
 // userState tracks one member's session. answers records the member's
@@ -109,6 +133,12 @@ type userState struct {
 	probeIdx int
 	// pending is the in-flight ask, between beginRound and apply.
 	pending *pendingAsk
+	// transcript records, in order, every usable answer this member gave —
+	// the driver-independent interview log the differential tests compare
+	// across execution modes. Only written when cfg.RecordTranscript; kept
+	// per member (not in a shared map) so the parallel reply fold can
+	// append from per-member workers.
+	transcript []string
 }
 
 // pendingAsk keeps the kernel-side context of an emitted Ask: the
@@ -131,16 +161,24 @@ func (u *userState) answeredYes(id assign.NodeID, theta float64) bool {
 // idSet is a growable membership set over dense NodeIDs.
 type idSet struct{ bits []bool }
 
-// add inserts id, growing the set; it reports whether id was absent.
+// add inserts id, growing the set in one step when needed; it reports
+// whether id was absent.
 func (s *idSet) add(id assign.NodeID) bool {
-	for int(id) >= len(s.bits) {
-		s.bits = append(s.bits, false)
+	if int(id) >= len(s.bits) {
+		s.bits = append(s.bits, make([]bool, int(id)+1-len(s.bits))...)
 	}
 	if s.bits[id] {
 		return false
 	}
 	s.bits[id] = true
 	return true
+}
+
+// grow presizes the set for ids below n.
+func (s *idSet) grow(n int) {
+	if n > len(s.bits) {
+		s.bits = append(s.bits, make([]bool, n-len(s.bits))...)
+	}
 }
 
 // newKernel builds the mining state machine for the given member IDs.
@@ -160,14 +198,23 @@ func newKernel(sp *assign.Space, ids []string, cfg EngineConfig) *kernel {
 		confirmed: make(map[assign.NodeID]bool),
 		km:        cfg.Obs.KernelSet().OrNop(),
 	}
+	// Presize every NodeID-indexed structure from the interned-node count:
+	// the space grows lazily during mining, but most of the lattice this
+	// run touches is usually interned already, so the hot paths run
+	// without grow checks firing.
+	n := sp.NumNodes()
+	k.gen.grow(n)
+	k.visited = make([]uint32, n)
+	k.inFlight = make([]int32, n)
+	k.confirmWit = make([]int32, n)
 	if cfg.Consistency {
 		k.checker = crowd.NewConsistencyChecker(sp.Vocabulary())
+		for _, id := range ids {
+			k.checker.Register(id)
+		}
 	}
 	if qc, ok := agg.(crowd.QuotaCarrier); ok {
 		k.quota = qc.Quota()
-	}
-	if cfg.RecordTranscript {
-		k.transcripts = make(map[string][]string)
 	}
 	for i, id := range ids {
 		k.users = append(k.users, &userState{
@@ -177,6 +224,7 @@ func newKernel(sp *assign.Space, ids []string, cfg EngineConfig) *kernel {
 			pruned:  make(map[vocab.TermID]bool),
 		})
 	}
+	k.initSelector()
 	return k
 }
 
@@ -189,18 +237,21 @@ func (k *kernel) beginRound() []*crowd.Ask {
 	if k.stopped {
 		return nil
 	}
-	if k.inFlight == nil {
-		k.inFlight = make(map[assign.NodeID]int)
-	} else {
-		clear(k.inFlight)
+	for _, id := range k.inFlightTouched {
+		k.inFlight[id] = 0
 	}
+	k.inFlightTouched = k.inFlightTouched[:0]
 	var asks []*crowd.Ask
-	for _, u := range k.users {
-		if k.stopped {
-			break
-		}
-		if a := k.selectAsk(u); a != nil {
-			asks = append(asks, a)
+	if k.sel != nil {
+		asks = k.beginRoundParallel()
+	} else {
+		for _, u := range k.users {
+			if k.stopped {
+				break
+			}
+			if a := k.selectAsk(u); a != nil {
+				asks = append(asks, a)
+			}
 		}
 	}
 	if len(asks) > 0 {
@@ -213,13 +264,21 @@ func (k *kernel) beginRound() []*crowd.Ask {
 	return asks
 }
 
+// eligible reports whether the member can be asked anything this round.
+// Every input is only mutated at the apply barrier, so the verdict is
+// stable for the whole selection phase — which is what lets the parallel
+// selector evaluate it speculatively.
+func (k *kernel) eligible(u *userState) bool {
+	if u.banned || u.departed || u.pending != nil {
+		return false
+	}
+	return k.cfg.MaxQuestionsPerMember <= 0 || u.asked < k.cfg.MaxQuestionsPerMember
+}
+
 // selectAsk picks the member's next question: their calibration probes
 // first (the Section 4.2 "preliminary step"), then the DAG traversal.
 func (k *kernel) selectAsk(u *userState) *crowd.Ask {
-	if u.banned || u.departed || u.pending != nil {
-		return nil
-	}
-	if k.cfg.MaxQuestionsPerMember > 0 && u.asked >= k.cfg.MaxQuestionsPerMember {
+	if !k.eligible(u) {
 		return nil
 	}
 	if k.checker != nil && k.cfg.CalibrationQuestions > 0 {
@@ -340,8 +399,8 @@ func (k *kernel) selectMining(u *userState) *crowd.Ask {
 // epoch-stamped so the scratch is reset by bumping k.epoch, not by
 // reallocating.
 func (k *kernel) alreadyVisited(id assign.NodeID) bool {
-	for int(id) >= len(k.visited) {
-		k.visited = append(k.visited, 0)
+	if int(id) >= len(k.visited) {
+		k.visited = append(k.visited, make([]uint32, int(id)+1-len(k.visited))...)
 	}
 	if k.visited[id] == k.epoch {
 		return true
@@ -354,7 +413,7 @@ func (k *kernel) alreadyVisited(id assign.NodeID) bool {
 // significant assignment and, when specialization is drawn and useful,
 // emits it.
 func (k *kernel) maybeSpecialize(u *userState, base *assign.Assignment) *crowd.Ask {
-	if k.cfg.SpecializationRatio <= 0 || k.rng.Float64() >= k.cfg.SpecializationRatio {
+	if k.cfg.SpecializationRatio <= 0 || k.drawFloat() >= k.cfg.SpecializationRatio {
 		return nil
 	}
 	var open []*assign.Assignment
@@ -391,6 +450,18 @@ func (k *kernel) maybeSpecialize(u *userState, base *assign.Assignment) *crowd.A
 	return ask
 }
 
+// drawFloat returns the next specialization draw: replayed values first
+// (only ever queued by the parallel commit), then the live rng. The serial
+// kernel always reads the live stream.
+func (k *kernel) drawFloat() float64 {
+	if len(k.rngReplay) > 0 {
+		v := k.rngReplay[0]
+		k.rngReplay = k.rngReplay[1:]
+		return v
+	}
+	return k.rng.Float64()
+}
+
 // coveredInFlight reports whether this round already scheduled enough
 // asks for the assignment to satisfy the aggregator's remaining quota.
 // Calibration probes bypass this: every member is probed by design.
@@ -402,21 +473,37 @@ func (k *kernel) coveredInFlight(a *assign.Assignment) bool {
 	if need < 1 {
 		need = 1
 	}
-	return k.inFlight[a.ID()] >= need
+	id := a.ID()
+	return int(id) < len(k.inFlight) && int(k.inFlight[id]) >= need
 }
 
 // emitConcrete builds the Ask event for one concrete question.
 func (k *kernel) emitConcrete(u *userState, a *assign.Assignment, probe bool) *crowd.Ask {
+	return k.emitConcreteInst(u, a, probe, k.space.Instantiate(a))
+}
+
+// emitConcreteInst is emitConcrete with a pre-instantiated fact-set (the
+// parallel commit reuses the instantiation its selection worker already
+// built; Instantiate is a pure function of the assignment, so the result
+// is identical).
+func (k *kernel) emitConcreteInst(u *userState, a *assign.Assignment, probe bool, fs ontology.FactSet) *crowd.Ask {
 	k.nextAskID++
 	ask := &crowd.Ask{
 		ID:     k.nextAskID,
 		Member: u.id,
 		Index:  u.index,
 		Kind:   crowd.ConcreteAsk,
-		Target: k.space.Instantiate(a),
+		Target: fs,
 	}
 	u.pending = &pendingAsk{ask: ask, target: a, probe: probe}
-	k.inFlight[a.ID()]++
+	id := a.ID()
+	if int(id) >= len(k.inFlight) {
+		k.inFlight = append(k.inFlight, make([]int32, int(id)+1-len(k.inFlight))...)
+	}
+	if k.inFlight[id] == 0 {
+		k.inFlightTouched = append(k.inFlightTouched, id)
+	}
+	k.inFlight[id]++
 	return ask
 }
 
@@ -488,7 +575,7 @@ func (k *kernel) apply(r crowd.Reply) {
 				u.pruned[t] = true
 			}
 		}
-		if k.transcripts != nil {
+		if k.cfg.RecordTranscript {
 			k.transcribe(u, "concrete "+p.target.Key())
 		}
 		k.recordAnswer(u, p.target, r.Support, false)
@@ -497,14 +584,14 @@ func (k *kernel) apply(r crowd.Reply) {
 		if r.Choice < 0 || r.Choice >= len(p.open) {
 			k.stats.NoneOfThese++
 			k.stats.AutoAnswers += len(p.open) - 1
-			if k.transcripts != nil {
+			if k.cfg.RecordTranscript {
 				k.transcribe(u, "specialize "+p.base.Key()+" -> none")
 			}
 			for _, o := range p.open {
 				k.recordAnswer(u, o, 0, true)
 			}
 		} else {
-			if k.transcripts != nil {
+			if k.cfg.RecordTranscript {
 				k.transcribe(u, "specialize "+p.base.Key()+" -> "+p.open[r.Choice].Key())
 			}
 			k.recordAnswer(u, p.open[r.Choice], r.Support, false)
@@ -515,10 +602,10 @@ func (k *kernel) apply(r crowd.Reply) {
 }
 
 // transcribe appends one interview-log line for the member. Callers guard
-// with k.transcripts != nil so the log line (and its string concatenation)
+// with cfg.RecordTranscript so the log line (and its string concatenation)
 // is only built when transcripts are recorded.
 func (k *kernel) transcribe(u *userState, line string) {
-	k.transcripts[u.id] = append(k.transcripts[u.id], line)
+	u.transcript = append(u.transcript, line)
 }
 
 // reviewBan applies the Section 4.2 spammer filter after an answer.
@@ -549,26 +636,53 @@ func (k *kernel) recordAnswer(u *userState, a *assign.Assignment, support float6
 		return
 	}
 	k.agg.Add(a.ID(), u.id, support)
+	if k.commitTouched != nil {
+		// Parallel commit in progress: later members' speculative
+		// auto-answers must re-validate against any node the aggregator
+		// was fed during the commit.
+		k.commitTouched[a.ID()] = true
+	}
 	if d := k.agg.Decide(a.ID()); d != crowd.Undecided {
 		k.settle(a, d)
 	}
 }
 
 // settle freezes the aggregator verdict and updates the global classifier.
+// Confirmation checks run only when a mark actually landed: statuses derive
+// from marks alone, so a settle that changes no mark cannot confirm
+// anything (the full rescan the kernel used to do here was a no-op in that
+// case).
 func (k *kernel) settle(a *assign.Assignment, d crowd.Decision) {
 	k.decided[a.ID()] = d
 	if d == crowd.OverallSignificant {
 		if k.global.Status(a) != assign.Significant {
 			k.global.MarkSignificant(a)
 			k.tracker.onMark(a, true)
+			// A significant mark only flips statuses Unknown →
+			// Significant, so no existing border node's "all successors
+			// insignificant" condition can newly hold; the only node
+			// that may confirm is the marked one itself, which just
+			// joined the border (its successors may already all be
+			// insignificant).
+			k.witnessConfirm(a)
 		}
 	} else {
 		if k.global.Status(a) != assign.Insignificant {
 			k.global.MarkInsignificant(a)
 			k.tracker.onMark(a, false)
+			// An insignificant mark can confirm any unconfirmed border
+			// node — the marked node need not be comparable to the
+			// successor it newly classifies (the derivation runs through
+			// the order, not the border) — so every candidate advances
+			// its witness. Each advance step is a successor newly seen
+			// insignificant, never re-examined: amortized O(affected).
+			for _, b := range k.global.SignificantBorder() {
+				if !k.confirmed[b.ID()] {
+					k.witnessConfirm(b)
+				}
+			}
 		}
 	}
-	k.checkConfirmations()
 }
 
 // finalize decides assignments whose answers never reached the aggregator's
@@ -661,29 +775,35 @@ func (k *kernel) roots() []*assign.Assignment {
 	return rs
 }
 
-func (k *kernel) checkConfirmations() {
-	for _, b := range k.global.SignificantBorder() {
-		if k.confirmed[b.ID()] {
-			continue
-		}
-		done := true
-		for _, succ := range k.successors(b) {
-			if k.global.Status(succ) != assign.Insignificant {
-				done = false
-				break
-			}
-		}
-		if done {
-			k.confirmed[b.ID()] = true
-			k.tracker.onMSP(b)
-			k.km.MSPs.Inc()
-			if k.cfg.OnMSP != nil {
-				k.cfg.OnMSP(b)
-			}
-			if k.cfg.MaxMSPs > 0 && len(k.confirmed) >= k.cfg.MaxMSPs {
-				k.stopped = true
-			}
-		}
+// witnessConfirm advances the border node's confirmation witness over its
+// newly insignificant successors and confirms it as an MSP when the witness
+// clears the whole list. Confirmation never un-happens (statuses are
+// final), so the witness position is valid across settles. Note the stop
+// flag is only raised, never acted on here: like the old full rescan, a
+// MaxMSPs run keeps confirming the remaining candidates of the settle that
+// crossed the limit.
+func (k *kernel) witnessConfirm(b *assign.Assignment) {
+	succs := k.successors(b)
+	id := b.ID()
+	if int(id) >= len(k.confirmWit) {
+		k.confirmWit = append(k.confirmWit, make([]int32, int(id)+1-len(k.confirmWit))...)
+	}
+	w := k.confirmWit[id]
+	for int(w) < len(succs) && k.global.Status(succs[w]) == assign.Insignificant {
+		w++
+	}
+	k.confirmWit[id] = w
+	if int(w) < len(succs) {
+		return
+	}
+	k.confirmed[id] = true
+	k.tracker.onMSP(b)
+	k.km.MSPs.Inc()
+	if k.cfg.OnMSP != nil {
+		k.cfg.OnMSP(b)
+	}
+	if k.cfg.MaxMSPs > 0 && len(k.confirmed) >= k.cfg.MaxMSPs {
+		k.stopped = true
 	}
 }
 
@@ -719,8 +839,14 @@ func (k *kernel) result() *Result {
 			res.Supports[a.Key()] = k.agg.Support(a.ID())
 		}
 	}
-	if k.transcripts != nil {
-		res.Transcripts = k.transcripts
+	if k.cfg.RecordTranscript {
+		trans := make(map[string][]string)
+		for _, u := range k.users {
+			if len(u.transcript) > 0 {
+				trans[u.id] = u.transcript
+			}
+		}
+		res.Transcripts = trans
 	}
 	border := append([]*assign.Assignment{}, k.global.SignificantBorder()...)
 	if k.stopped {

@@ -1,0 +1,281 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"oassis/internal/assign"
+	"oassis/internal/chaos"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
+	"oassis/internal/paperdata"
+	"oassis/internal/synth"
+)
+
+// The tests in this file pin the tentpole invariant of the parallel
+// round-selection refactor: EngineConfig.SelectionWorkers shards the
+// per-round question selection (and the reply fold at the round barrier)
+// across goroutines, yet every externally visible output of a run — the
+// MSP sets, the per-member transcripts, the aggregated supports and the
+// entire Stats block — must be byte-identical to the serial kernel's.
+// Identity, not statistical similarity: the speculative workers must leave
+// the kernel's random stream, visit order and settle order exactly as the
+// serial loop would have.
+
+// selOracle gives clones of a DAG's ground-truth oracle distinct IDs.
+type selOracle struct {
+	crowd.Member
+	id string
+}
+
+func (o selOracle) ID() string { return o.id }
+
+// selFingerprint is everything a caller can observe about a finished run.
+type selFingerprint struct {
+	msps, valid, sig string
+	supports         map[string]float64
+	transcripts      map[string][]string
+	stats            core.Stats
+}
+
+func keyset(as []*assign.Assignment) string {
+	keys := make([]string, len(as))
+	for i, a := range as {
+		keys[i] = a.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+func fingerprint(res *core.Result) selFingerprint {
+	return selFingerprint{
+		msps:        keyset(res.MSPs),
+		valid:       keyset(res.ValidMSPs),
+		sig:         keyset(res.Significant),
+		supports:    res.Supports,
+		transcripts: res.Transcripts,
+		stats:       res.Stats,
+	}
+}
+
+// diffFingerprints reports the first component where two fingerprints
+// disagree, for readable failure messages.
+func diffFingerprints(a, b selFingerprint) string {
+	switch {
+	case a.msps != b.msps:
+		return fmt.Sprintf("MSP sets differ:\n%s\nvs\n%s", a.msps, b.msps)
+	case a.valid != b.valid:
+		return "valid-MSP sets differ"
+	case a.sig != b.sig:
+		return "significant sets differ"
+	case !reflect.DeepEqual(a.supports, b.supports):
+		return fmt.Sprintf("support maps differ: %v\nvs\n%v", a.supports, b.supports)
+	case !reflect.DeepEqual(a.transcripts, b.transcripts):
+		return fmt.Sprintf("transcripts differ:\n%v\nvs\n%v", a.transcripts, b.transcripts)
+	case !reflect.DeepEqual(a.stats, b.stats):
+		return fmt.Sprintf("stats differ:\n%+v\nvs\n%+v", a.stats, b.stats)
+	default:
+		return ""
+	}
+}
+
+// selDAGCache shares immutable DAG spaces across combos (the engine never
+// mutates a Space; classification state lives in the per-run kernel).
+var selDAGCache = map[synth.DAGConfig]*synth.DAG{}
+
+func selDAG(t *testing.T, cfg synth.DAGConfig) *synth.DAG {
+	t.Helper()
+	if d, ok := selDAGCache[cfg]; ok {
+		return d
+	}
+	d, err := synth.NewDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selDAGCache[cfg] = d
+	return d
+}
+
+// TestParallelSelectionTranscriptIdentical sweeps >100 randomized
+// scenario combinations — DAG shapes, crowd sizes, aggregator families,
+// specialization ratios, pruning oracles, spammers with the consistency
+// filter, per-member question caps and top-k stops — and for each one
+// requires the 1-, 2- and 8-worker engines to reproduce the serial
+// engine's output bit for bit.
+func TestParallelSelectionTranscriptIdentical(t *testing.T) {
+	dags := []synth.DAGConfig{
+		{Width: 12, Depth: 3, MSPPercent: 0.10, Places: 2, Seed: 3},
+		{Width: 18, Depth: 3, MSPPercent: 0.05, Places: 1, Seed: 4},
+		{Width: 24, Depth: 4, MSPPercent: 0.08, Places: 2, Seed: 5},
+	}
+	type aggMaker struct {
+		name string
+		mk   func(k int, theta float64) crowd.Aggregator
+	}
+	aggs := []aggMaker{
+		{"mean", func(k int, th float64) crowd.Aggregator { return crowd.NewMeanAggregator(k, th) }},
+		{"majority", func(k int, th float64) crowd.Aggregator { return crowd.NewMajorityAggregator(k, th) }},
+		{"trust", func(k int, th float64) crowd.Aggregator { return crowd.NewTrustWeightedAggregator(k, th) }},
+	}
+	crowds := []int{2, 3, 5, 9}
+
+	// Mixed-radix enumeration over the first three dimensions covers every
+	// (dag, aggregator, crowd) pairing; a seeded rng scatters the rest so
+	// they do not correlate with the enumerated digits.
+	aux := rand.New(rand.NewSource(99))
+	const combos = 108 // 3 dags × 3 aggregators × 4 crowd sizes × 3 repeats
+	totalMSPs, totalQuestions := 0, 0
+	for i := 0; i < combos; i++ {
+		j := i
+		dagCfg := dags[j%len(dags)]
+		j /= len(dags)
+		agg := aggs[j%len(aggs)]
+		j /= len(aggs)
+		members := crowds[j%len(crowds)]
+
+		spec := []float64{0, 0.15, 0.5}[aux.Intn(3)]
+		prune := []float64{0, 0, 0.3}[aux.Intn(3)]
+		maxQ := []int{0, 0, 7}[aux.Intn(3)]
+		topk := []int{0, 0, 2}[aux.Intn(3)]
+		consist := aux.Intn(3) == 0
+		quorum := 2 + aux.Intn(2)
+		if quorum > members {
+			quorum = members
+		}
+		seed := int64(100 + i)
+
+		d := selDAG(t, dagCfg)
+		theta := d.Query.Satisfying.Support
+		name := fmt.Sprintf("%03d-%s-m%d-w%dd%d", i, agg.name, members, dagCfg.Width, dagCfg.Depth)
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) *core.Result {
+				pool := make([]crowd.Member, members)
+				for m := range pool {
+					pool[m] = selOracle{Member: d.Oracle(prune, int64(m+1)), id: fmt.Sprintf("m%d", m)}
+				}
+				if consist && members > 2 {
+					// One spammer for the consistency filter to chew on.
+					pool[members-1] = crowd.NewSpammer(fmt.Sprintf("m%d", members-1), seed)
+				}
+				cfg := core.EngineConfig{
+					Theta:                 theta,
+					Aggregator:            agg.mk(quorum, theta),
+					SpecializationRatio:   spec,
+					MaxQuestionsPerMember: maxQ,
+					MaxMSPs:               topk,
+					Seed:                  seed,
+					RecordTranscript:      true,
+					SelectionWorkers:      workers,
+				}
+				if consist {
+					cfg.Consistency = true
+					cfg.CalibrationQuestions = 2
+				}
+				return core.NewEngine(d.Space, pool, cfg).Run()
+			}
+			ref := fingerprint(run(0))
+			totalMSPs += len(strings.Split(ref.msps, "\n"))
+			totalQuestions += ref.stats.Questions
+			for _, w := range []int{1, 2, 8} {
+				if got := fingerprint(run(w)); !reflect.DeepEqual(got, ref) {
+					t.Fatalf("workers=%d diverged from serial: %s", w, diffFingerprints(got, ref))
+				}
+			}
+		})
+	}
+	// The sweep must not be vacuous.
+	if totalMSPs == 0 || totalQuestions == 0 {
+		t.Fatalf("degenerate sweep: %d MSPs, %d questions across all combos", totalMSPs, totalQuestions)
+	}
+}
+
+// TestParallelSelectionChaosVirtualClock replays a fault-injected crowd —
+// fixed think times, one chronic straggler who exceeds the answer
+// deadline until dropped, and two mid-run departures — on a virtual clock,
+// and requires the sharded engines to reproduce the serial run exactly,
+// including the timeout/departure bookkeeping in Stats.
+func TestParallelSelectionChaosVirtualClock(t *testing.T) {
+	run := func(workers int) *core.Result {
+		sp, v := buildSpace(t, paperdata.SimpleQueryText, nil)
+		clock := chaos.NewVirtualClock()
+		faults := make([]chaos.Faults, 8)
+		for i := range faults {
+			faults[i].LatencyMin = 20 * time.Second
+		}
+		faults[2].LatencyMin = 2 * time.Minute // always over the deadline
+		faults[1].DepartAfter = 2
+		faults[5].DepartAfter = 4
+		members := chaosCrowd(v, clock, faults)
+		return core.NewEngine(sp, members, core.EngineConfig{
+			Theta:            0.4,
+			Aggregator:       crowd.NewMeanAggregator(5, 0.4),
+			Seed:             3,
+			AnswerDeadline:   time.Minute,
+			Clock:            clock,
+			RecordTranscript: true,
+			SelectionWorkers: workers,
+		}).Run()
+	}
+	ref := fingerprint(run(0))
+	if ref.stats.Departures == 0 {
+		t.Fatal("chaos scenario exercised no departures")
+	}
+	if ref.stats.TimedOut == 0 {
+		t.Fatal("chaos scenario exercised no answer timeouts")
+	}
+	for _, w := range []int{2, 8} {
+		if got := fingerprint(run(w)); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged from serial under chaos: %s", w, diffFingerprints(got, ref))
+		}
+	}
+}
+
+// opaqueAgg hides an aggregator's ReadSnapshotter extension, forcing the
+// kernel's serial fallback.
+type opaqueAgg struct{ inner crowd.Aggregator }
+
+func (o opaqueAgg) Add(id assign.NodeID, m string, s float64) { o.inner.Add(id, m, s) }
+func (o opaqueAgg) Decide(id assign.NodeID) crowd.Decision    { return o.inner.Decide(id) }
+func (o opaqueAgg) Answers(id assign.NodeID) int              { return o.inner.Answers(id) }
+func (o opaqueAgg) Support(id assign.NodeID) float64          { return o.inner.Support(id) }
+func (o opaqueAgg) Quota() int {
+	return o.inner.(interface{ Quota() int }).Quota()
+}
+
+// TestParallelSelectionFallbackGates: an aggregator that does not promise
+// snapshot-read safety must silently disable speculative selection, and
+// the result must still match the serial run (because the fallback IS the
+// serial path).
+func TestParallelSelectionFallbackGates(t *testing.T) {
+	d := selDAG(t, synth.DAGConfig{Width: 12, Depth: 3, MSPPercent: 0.10, Places: 2, Seed: 3})
+	theta := d.Query.Satisfying.Support
+	run := func(workers int, wrap bool) *core.Result {
+		pool := make([]crowd.Member, 4)
+		for m := range pool {
+			pool[m] = selOracle{Member: d.Oracle(0, int64(m+1)), id: fmt.Sprintf("m%d", m)}
+		}
+		var agg crowd.Aggregator = crowd.NewMeanAggregator(3, theta)
+		if wrap {
+			agg = opaqueAgg{inner: agg}
+		}
+		return core.NewEngine(d.Space, pool, core.EngineConfig{
+			Theta:               theta,
+			Aggregator:          agg,
+			SpecializationRatio: 0.15,
+			Seed:                11,
+			RecordTranscript:    true,
+			SelectionWorkers:    workers,
+		}).Run()
+	}
+	ref := fingerprint(run(0, false))
+	for _, wrap := range []bool{false, true} {
+		if got := fingerprint(run(8, wrap)); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("wrap=%v diverged from serial: %s", wrap, diffFingerprints(got, ref))
+		}
+	}
+}

@@ -13,6 +13,13 @@ import (
 // checker records each member's (fact-set, support) answers and counts
 // violations of this monotonicity, allowing small tolerance for the noise
 // of a cooperative member.
+//
+// State is held per member in independent logs. After every member has been
+// Registered, Record is safe to call concurrently for *distinct* members
+// (the shared map is then only read); this is what lets the kernel's
+// parallel reply fold record answers from its per-member workers. Calls for
+// the same member, and all other methods, still require external
+// serialization.
 type ConsistencyChecker struct {
 	v *vocab.Vocabulary
 	// Tolerance is the slack allowed before a pair counts as a
@@ -25,9 +32,14 @@ type ConsistencyChecker struct {
 	// flagged as a spammer.
 	MaxViolationRate float64
 
-	answers map[string][]recorded
-	pairs   map[string]int // comparable pairs seen per member
-	bad     map[string]int // violating pairs per member
+	members map[string]*memberLog
+}
+
+// memberLog holds one member's answer history and violation counters.
+type memberLog struct {
+	answers []recorded
+	pairs   int // comparable pairs seen
+	bad     int // violating pairs
 }
 
 type recorded struct {
@@ -41,53 +53,73 @@ func NewConsistencyChecker(v *vocab.Vocabulary) *ConsistencyChecker {
 		v:                v,
 		Tolerance:        0.1,
 		MaxViolationRate: 0.25,
-		answers:          make(map[string][]recorded),
-		pairs:            make(map[string]int),
-		bad:              make(map[string]int),
+		members:          make(map[string]*memberLog),
 	}
+}
+
+// Register pre-creates the member's log. Once all members of a crowd are
+// registered, Record calls for distinct members never mutate the shared
+// map and may run concurrently.
+func (c *ConsistencyChecker) Register(memberID string) {
+	if _, ok := c.members[memberID]; !ok {
+		c.members[memberID] = &memberLog{}
+	}
+}
+
+// log returns the member's log, creating it for unregistered members
+// (serial callers only).
+func (c *ConsistencyChecker) log(memberID string) *memberLog {
+	ml, ok := c.members[memberID]
+	if !ok {
+		ml = &memberLog{}
+		c.members[memberID] = ml
+	}
+	return ml
 }
 
 // Record adds one answer and updates the member's violation statistics
 // against all their previous answers.
 func (c *ConsistencyChecker) Record(memberID string, fs ontology.FactSet, support float64) {
-	for _, prev := range c.answers[memberID] {
+	ml := c.log(memberID)
+	for _, prev := range ml.answers {
 		switch {
 		case ontology.LeqFactSet(c.v, prev.fs, fs):
 			// prev is more general: supp(prev) ≥ supp(fs) expected.
-			c.pairs[memberID]++
+			ml.pairs++
 			if support > prev.support+c.Tolerance {
-				c.bad[memberID]++
+				ml.bad++
 			}
 		case ontology.LeqFactSet(c.v, fs, prev.fs):
-			c.pairs[memberID]++
+			ml.pairs++
 			if prev.support > support+c.Tolerance {
-				c.bad[memberID]++
+				ml.bad++
 			}
 		}
 	}
-	c.answers[memberID] = append(c.answers[memberID], recorded{fs: fs, support: support})
+	ml.answers = append(ml.answers, recorded{fs: fs, support: support})
 }
 
 // ViolationRate returns the member's fraction of violating comparable pairs
 // (0 when no comparable pairs were seen).
 func (c *ConsistencyChecker) ViolationRate(memberID string) float64 {
-	p := c.pairs[memberID]
-	if p == 0 {
+	ml, ok := c.members[memberID]
+	if !ok || ml.pairs == 0 {
 		return 0
 	}
-	return float64(c.bad[memberID]) / float64(p)
+	return float64(ml.bad) / float64(ml.pairs)
 }
 
 // IsSpammer flags members whose violation rate exceeds the maximum, given at
 // least a handful of comparable pairs to judge from.
 func (c *ConsistencyChecker) IsSpammer(memberID string) bool {
-	return c.pairs[memberID] >= 4 && c.ViolationRate(memberID) > c.MaxViolationRate
+	ml, ok := c.members[memberID]
+	return ok && ml.pairs >= 4 && c.ViolationRate(memberID) > c.MaxViolationRate
 }
 
 // Flagged returns all members currently flagged, sorted by ID.
 func (c *ConsistencyChecker) Flagged() []string {
 	var out []string
-	for id := range c.answers {
+	for id := range c.members {
 		if c.IsSpammer(id) {
 			out = append(out, id)
 		}
