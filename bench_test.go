@@ -270,6 +270,8 @@ func BenchmarkAggregatorAblation(b *testing.B) {
 // OASSIS_BENCH_OBS=1 runs the same workload with an Observer attached, for
 // comparing disabled-vs-enabled observability cost (CI gates the disabled
 // mode against its recorded baseline; enabled mode is informational).
+// OASSIS_BENCH_JOURNAL=1 additionally enables the flight-recorder journal
+// on that observer, bounding the full event-stream recording cost.
 func BenchmarkEngineThroughput(b *testing.B) {
 	d, err := synth.NewDAG(synth.DAGConfig{
 		Width: 60, Depth: 4, MSPPercent: 0.05, Places: 3, Seed: 11,
@@ -278,8 +280,11 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	var obsr *oassis.Observer
-	if os.Getenv("OASSIS_BENCH_OBS") == "1" {
+	if os.Getenv("OASSIS_BENCH_OBS") == "1" || os.Getenv("OASSIS_BENCH_JOURNAL") == "1" {
 		obsr = oassis.NewObserver()
+	}
+	if os.Getenv("OASSIS_BENCH_JOURNAL") == "1" {
+		obsr.EnableJournal(0)
 	}
 	theta := d.Query.Satisfying.Support
 	var ms runtime.MemStats

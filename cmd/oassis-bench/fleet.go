@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"oassis/internal/obs"
@@ -40,7 +41,7 @@ type fleetReport struct {
 // runFleetBench generates the scale ontology, times both ingestion paths,
 // checks they agree, runs the query fleet against the parallel-loaded
 // store and writes the JSON report.
-func runFleetBench(scaleName string, queries, execs, workers int, seed int64, out string, o *obs.Observer) error {
+func runFleetBench(scaleName string, queries, execs, workers, mine int, seed int64, out string, o *obs.Observer) error {
 	var scale synth.ScaleConfig
 	switch scaleName {
 	case "million":
@@ -90,7 +91,8 @@ func runFleetBench(scaleName string, queries, execs, workers int, seed int64, ou
 			pv.NumElements(), pv.NumRelations(), ss.Size(), ps.Size())
 	}
 
-	fcfg := synth.FleetConfig{Queries: queries, Executions: execs, Workers: workers, Seed: seed, Obs: o}
+	fcfg := synth.FleetConfig{Queries: queries, Executions: execs, Workers: workers,
+		MineMembers: mine, Seed: seed, Obs: o}
 	fleet := synth.SampleFleet(scale, fcfg)
 	rep, err := synth.RunFleet(ps, fleet, fcfg)
 	if err != nil {
@@ -100,6 +102,22 @@ func runFleetBench(scaleName string, queries, execs, workers int, seed int64, ou
 		rep.DistinctQueries, rep.Executions, rep.Workers, rep.Seconds, rep.QueriesPerSec)
 	fmt.Printf("plan cache: %d hits / %d misses (%.1f%% hit rate), %d entries\n",
 		rep.PlanCacheHits, rep.PlanCacheMisses, 100*rep.CacheHitRate, rep.PlanCacheSize)
+	if rep.Questions > 0 {
+		fmt.Printf("mining: %d crowd questions across the fleet (%d synthetic members per run)\n",
+			rep.Questions, mine)
+	}
+	if len(rep.PerQuery) > 0 {
+		top := append([]synth.QueryCost(nil), rep.PerQuery...)
+		sort.Slice(top, func(i, j int) bool { return top[i].WallSecs > top[j].WallSecs })
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		fmt.Printf("attribution: %d queries journaled; top by wall time:\n", len(rep.PerQuery))
+		for _, c := range top {
+			fmt.Printf("  %s: %d execs, %.3fs, %d cache hits, %d rows, %d questions\n",
+				c.Query, c.Execs, c.WallSecs, c.CacheHits, c.Rows, c.Questions)
+		}
+	}
 
 	doc := fleetReport{
 		Scale:        scaleName,

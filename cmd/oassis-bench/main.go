@@ -49,15 +49,17 @@ func main() {
 		members  = flag.Int("members", 0, "override the synthetic crowd size (0 = figure default: 248, or 40 with -quick)")
 		selWork  = flag.Int("selection-workers", 0, "shard per-round question selection across this many goroutines (0/1 = serial kernel; figures are byte-identical either way)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		metrics  = flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run")
-		traceOut = flag.String("trace", "", "write per-phase trace spans to this JSONL `file`")
-		explain  = flag.Bool("explain", false, "print the compiled WHERE plans of the three evaluation domains")
+		metrics    = flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run")
+		traceOut   = flag.String("trace", "", "write per-phase trace spans to this JSONL `file`")
+		journalOut = flag.String("journal", "", "record the kernel flight-recorder event stream as JSONL to this `file` (implies an observer)")
+		explain    = flag.Bool("explain", false, "print the compiled WHERE plans of the three evaluation domains")
 
 		fleet        = flag.Bool("fleet", false, "run the ingestion + query-fleet benchmark instead of paper figures")
 		fleetScale   = flag.String("fleet-scale", "million", "fleet ontology scale: million or smoke")
 		fleetQueries = flag.Int("fleet-queries", 1200, "distinct queries in the fleet")
 		fleetExecs   = flag.Int("fleet-execs", 5000, "total query executions (Zipf-skewed over the fleet)")
 		fleetWorkers = flag.Int("fleet-workers", 0, "fleet execution workers (0 = GOMAXPROCS)")
+		fleetMine    = flag.Int("fleet-mine", 0, "follow each fleet execution with a mining pass served by this many synthetic members (with -journal: per-query question attribution in the report)")
 		fleetOut     = flag.String("fleet-out", "", "write the fleet benchmark report as JSON to this `file`")
 	)
 	flag.Parse()
@@ -70,16 +72,28 @@ func main() {
 	}
 	exp.SetSelectionWorkers(*selWork)
 	var o *obs.Observer
-	if *metrics || *traceOut != "" || *explain {
+	if *metrics || *traceOut != "" || *explain || *journalOut != "" {
+		// -journal implies the observer like -metrics/-trace do, so the
+		// flag works standalone instead of silently recording nothing.
 		o = obs.New()
 		exp.SetObserver(o)
 	}
-	if *fleet {
-		if err := runFleetBench(*fleetScale, *fleetQueries, *fleetExecs, *fleetWorkers, *seed, *fleetOut, o); err != nil {
+	var journalFile *os.File
+	if *journalOut != "" {
+		f, err := os.Create(*journalOut)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "oassis-bench:", err)
 			os.Exit(1)
 		}
-		if err := emit(o, *metrics, *traceOut); err != nil {
+		journalFile = f
+		o.EnableJournal(0).SetSink(f)
+	}
+	if *fleet {
+		if err := runFleetBench(*fleetScale, *fleetQueries, *fleetExecs, *fleetWorkers, *fleetMine, *seed, *fleetOut, o); err != nil {
+			fmt.Fprintln(os.Stderr, "oassis-bench:", err)
+			os.Exit(1)
+		}
+		if err := emit(o, *metrics, *traceOut, *journalOut, journalFile); err != nil {
 			fmt.Fprintln(os.Stderr, "oassis-bench:", err)
 			os.Exit(1)
 		}
@@ -89,14 +103,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oassis-bench:", err)
 		os.Exit(1)
 	}
-	if err := emit(o, *metrics, *traceOut); err != nil {
+	if err := emit(o, *metrics, *traceOut, *journalOut, journalFile); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis-bench:", err)
 		os.Exit(1)
 	}
 }
 
-// emit writes the observer's trace and metrics after the figures ran.
-func emit(o *obs.Observer, metrics bool, traceOut string) error {
+// emit writes the observer's trace, journal and metrics after the figures
+// ran.
+func emit(o *obs.Observer, metrics bool, traceOut, journalOut string, journalFile *os.File) error {
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -110,6 +125,16 @@ func emit(o *obs.Observer, metrics bool, traceOut string) error {
 			return err
 		}
 		fmt.Printf("trace: %s\n", traceOut)
+	}
+	if journalFile != nil {
+		j := o.JournalSet()
+		if err := j.Flush(); err != nil {
+			return err
+		}
+		if err := journalFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("journal: %s (%d events)\n", journalOut, j.Total())
 	}
 	if metrics {
 		fmt.Println("==== metrics ====")

@@ -46,6 +46,8 @@ func main() {
 		sharedStore  = flag.Bool("shared-store", false, "share a cross-query answer store: repeated questions are served from cached crowd answers instead of re-asked, across every run this process serves")
 		storeTTL     = flag.Duration("store-ttl", 0, "shared-store answer freshness window; stale answers are re-asked (0 = answers never expire)")
 		storeMax     = flag.Int("store-max", 0, "shared-store size bound with LRU eviction (0 = unbounded)")
+		journalPath  = flag.String("journal", "", "record the kernel's flight-recorder event stream as JSONL to this file (also serves GET /journal; implies an observer)")
+		scorecards   = flag.Bool("scorecards", false, "track per-member scorecards, served on GET /members and as oassis_member_* metrics (implies an observer)")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || len(queryPaths) == 0 {
@@ -56,6 +58,7 @@ func main() {
 		minMembers: *minMembers, k: *k, timeout: *timeout, seed: *seed,
 		metrics: *metrics, pprof: *pprofFlag, selWorkers: *selWorkers,
 		sharedStore: *sharedStore, storeTTL: *storeTTL, storeMax: *storeMax,
+		journal: *journalPath, scorecards: *scorecards,
 	}
 	if err := run(*ontologyPath, queryPaths, *addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oassis-serve:", err)
@@ -75,6 +78,8 @@ type serveConfig struct {
 	sharedStore bool
 	storeTTL    time.Duration
 	storeMax    int
+	journal     string
+	scorecards  bool
 }
 
 func run(ontologyPath string, queryPaths []string, addr string, cfg serveConfig) error {
@@ -86,8 +91,24 @@ func run(ontologyPath string, queryPaths []string, addr string, cfg serveConfig)
 	// and space metrics, the platform feeds it HTTP and lifecycle
 	// counters, and GET /metrics exposes the union.
 	var o *oassis.Observer
-	if cfg.metrics {
+	if cfg.metrics || cfg.journal != "" || cfg.scorecards {
+		// -journal and -scorecards imply an observer even without -metrics,
+		// so the flags compose instead of silently no-opping.
 		o = oassis.NewObserver()
+	}
+	if cfg.journal != "" {
+		f, err := os.Create(cfg.journal)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// The journal flushes its sink at every run end, so the JSONL file
+		// is replayable after each completed run even though the process
+		// normally exits via signal.
+		o.EnableJournal(0).SetSink(f)
+	}
+	if cfg.scorecards {
+		o.EnableScorecards()
 	}
 	// Shared-store mode: a long-lived answer platform outlives any one
 	// run, so a re-attached query (or one served concurrently elsewhere
@@ -163,8 +184,21 @@ func run(ontologyPath string, queryPaths []string, addr string, cfg serveConfig)
 	if answerStore != nil {
 		fmt.Printf("oassis-serve: shared answer store enabled (ttl=%v, max=%d)\n", cfg.storeTTL, cfg.storeMax)
 	}
-	if cfg.metrics {
-		fmt.Printf("oassis-serve: metrics on GET %s/metrics\n", addr)
+	if o != nil {
+		// One line summarizing every live observability feature, so a
+		// misremembered flag is visible at startup rather than as a 404.
+		var feats []string
+		if cfg.metrics {
+			feats = append(feats, "metrics on /metrics")
+		}
+		if cfg.journal != "" {
+			feats = append(feats, fmt.Sprintf("journal to %s (tail on /journal)", cfg.journal))
+		}
+		if cfg.scorecards {
+			feats = append(feats, "member scorecards on /members")
+		}
+		fmt.Printf("oassis-serve: observability: %s; live run status on GET /status\n",
+			strings.Join(feats, ", "))
 	}
 	if cfg.pprof {
 		fmt.Printf("oassis-serve: profiling on %s/debug/pprof/\n", addr)

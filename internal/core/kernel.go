@@ -81,6 +81,16 @@ type kernel struct {
 	// (the default) costs one nil check per event.
 	km *obs.KernelMetrics
 
+	// jr is the flight recorder: every ask, reply, timeout, departure and
+	// MSP confirmation is journaled with its raw payload — enough for
+	// journal.Replay to re-fold the run. jrRun is this run's journal run
+	// ID (assigned by the driver at run start). sb feeds the per-member
+	// scorecards. Both nil (the default) cost one nil check per event;
+	// neither influences kernel state, so transcripts are unchanged.
+	jr    *obs.Journal
+	jrRun int64
+	sb    *obs.Scoreboard
+
 	nextAskID int64
 
 	// sel holds the parallel round-selection machinery (kernel_parallel.go);
@@ -197,6 +207,8 @@ func newKernel(sp *assign.Space, ids []string, cfg EngineConfig) *kernel {
 		decided:   make(map[assign.NodeID]crowd.Decision),
 		confirmed: make(map[assign.NodeID]bool),
 		km:        cfg.Obs.KernelSet().OrNop(),
+		jr:        cfg.Obs.JournalSet(),
+		sb:        cfg.Obs.BoardSet(),
 	}
 	// Presize every NodeID-indexed structure from the interned-node count:
 	// the space grows lazily during mining, but most of the lattice this
@@ -260,8 +272,48 @@ func (k *kernel) beginRound() []*crowd.Ask {
 		if len(asks) > k.stats.PeakInFlight {
 			k.stats.PeakInFlight = len(asks)
 		}
+		if k.jr != nil || k.sb != nil {
+			k.journalAsks(asks)
+		}
 	}
 	return asks
+}
+
+// journalAsks emits one ask event per question of the round just begun.
+// The emission runs over beginRound's return value — the single funnel
+// both the serial and the parallel selector share — so the recorded
+// stream is identical across selection modes.
+func (k *kernel) journalAsks(asks []*crowd.Ask) {
+	round := k.stats.Rounds
+	for _, a := range asks {
+		k.sb.Asked(a.Member)
+		if k.jr == nil {
+			continue
+		}
+		qkind, key, probe := "concrete", "", false
+		if p := k.users[a.Index].pending; p != nil {
+			probe = p.probe
+			if a.Kind == crowd.SpecializeAsk {
+				qkind, key = "specialize", p.base.Key()
+			} else {
+				key = p.target.Key()
+			}
+		}
+		k.jr.AskEvent(k.jrRun, round, a.ID, a.Member, qkind, key, probe, len(a.Options))
+	}
+}
+
+// prunedInts converts a reply's pruned-term list to the journal's wire
+// type. Only called on journaled paths.
+func prunedInts(p []vocab.TermID) []int32 {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]int32, len(p))
+	for i, t := range p {
+		out[i] = int32(t)
+	}
+	return out
 }
 
 // eligible reports whether the member can be asked anything this round.
@@ -531,13 +583,22 @@ func (k *kernel) apply(r crowd.Reply) {
 		// answer arrived for nothing.
 		k.stats.Discarded++
 		k.km.Discarded.Inc()
+		if k.jr != nil {
+			k.jr.ReplyEvent(k.jrRun, k.stats.Rounds, r.Ask.ID, u.id, r.Outcome.String(),
+				r.Support, r.Choice, prunedInts(r.Pruned), int64(r.Elapsed), "discarded")
+		}
 		return
 	}
 	if r.Outcome == crowd.Departed {
+		if k.jr != nil {
+			k.jr.DepartureEvent(k.jrRun, k.stats.Rounds, r.Ask.ID, u.id, r.Outcome.String(),
+				r.Support, r.Choice, prunedInts(r.Pruned), int64(r.Elapsed))
+		}
 		if !u.departed {
 			u.departed = true
 			k.stats.Departures++
 			k.km.Departures.Inc()
+			k.sb.Departure(u.id)
 		}
 		return
 	}
@@ -555,10 +616,20 @@ func (k *kernel) apply(r crowd.Reply) {
 		if max <= 0 {
 			max = 3
 		}
-		if u.timeouts >= max {
+		struck := u.timeouts >= max
+		if k.jr != nil {
+			// The raw outcome is preserved (an answered reply that
+			// overran the deadline stays "answered" on the wire): replay
+			// re-derives the timeout from Elapsed vs the deadline.
+			k.jr.TimeoutEvent(k.jrRun, k.stats.Rounds, r.Ask.ID, u.id, r.Outcome.String(),
+				r.Support, r.Choice, prunedInts(r.Pruned), int64(r.Elapsed), struck)
+		}
+		k.sb.Timeout(u.id, struck)
+		if struck {
 			u.departed = true
 			k.stats.Departures++
 			k.km.Departures.Inc()
+			k.sb.Departure(u.id)
 		}
 		return
 	}
@@ -566,6 +637,11 @@ func (k *kernel) apply(r crowd.Reply) {
 	u.asked++
 	k.stats.Questions++
 	k.km.Questions.Inc()
+	if k.jr != nil {
+		k.jr.ReplyEvent(k.jrRun, k.stats.Rounds, r.Ask.ID, u.id, r.Outcome.String(),
+			r.Support, r.Choice, prunedInts(r.Pruned), int64(r.Elapsed), "")
+	}
+	k.sb.Reply(u.id, r.Support, r.Elapsed.Seconds())
 	switch p.ask.Kind {
 	case crowd.ConcreteAsk:
 		k.stats.ConcreteQ++
@@ -614,6 +690,7 @@ func (k *kernel) reviewBan(u *userState) {
 		return
 	}
 	u.banned = true
+	k.sb.Ban(u.id)
 	if tw, ok := k.agg.(*crowd.TrustWeightedAggregator); ok {
 		tw.SetTrust(u.id, 0)
 	}
@@ -636,6 +713,9 @@ func (k *kernel) recordAnswer(u *userState, a *assign.Assignment, support float6
 		return
 	}
 	k.agg.Add(a.ID(), u.id, support)
+	if k.jr != nil && k.agg.Answers(a.ID()) == 1 {
+		k.jr.NoteNewAnswer(k.jrRun)
+	}
 	if k.commitTouched != nil {
 		// Parallel commit in progress: later members' speculative
 		// auto-answers must re-validate against any node the aggregator
@@ -654,6 +734,16 @@ func (k *kernel) recordAnswer(u *userState, a *assign.Assignment, support float6
 // case).
 func (k *kernel) settle(a *assign.Assignment, d crowd.Decision) {
 	k.decided[a.ID()] = d
+	if k.sb != nil {
+		// Score each member who answered this now-settled question on
+		// whether their own verdict matched the aggregate decision.
+		sig := d == crowd.OverallSignificant
+		for _, u := range k.users {
+			if s, ok := u.answers[a.ID()]; ok {
+				k.sb.Agree(u.id, (s >= k.cfg.Theta) == sig)
+			}
+		}
+	}
 	if d == crowd.OverallSignificant {
 		if k.global.Status(a) != assign.Significant {
 			k.global.MarkSignificant(a)
@@ -799,6 +889,9 @@ func (k *kernel) witnessConfirm(b *assign.Assignment) {
 	k.confirmed[id] = true
 	k.tracker.onMSP(b)
 	k.km.MSPs.Inc()
+	if k.jr != nil {
+		k.jr.MSPEvent(k.jrRun, k.stats.Rounds, b.Key(), int64(k.stats.Questions))
+	}
 	if k.cfg.OnMSP != nil {
 		k.cfg.OnMSP(b)
 	}
@@ -833,6 +926,10 @@ func (k *kernel) result() *Result {
 	res := &Result{Stats: k.stats, Supports: make(map[string]float64)}
 	if t := k.cfg.Obs.Trace(); t != nil {
 		res.Trace = t.Summary()
+	}
+	if k.jr != nil {
+		res.Curve = k.jr.Curve(k.jrRun)
+		res.JournalRun = k.jrRun
 	}
 	for _, a := range k.tracked {
 		if k.agg.Answers(a.ID()) > 0 {

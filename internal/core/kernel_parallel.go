@@ -900,9 +900,13 @@ func (k *kernel) applyParallel(replies []crowd.Reply) {
 	}
 	wg.Wait()
 
-	// Phase B: shared state, ask order — the serial fold order.
+	// Phase B: shared state, ask order — the serial fold order. Journal
+	// and scoreboard emission lives here (never in phase A): the slots
+	// walk in ask order, so the recorded event stream is byte-identical
+	// to the serial fold's.
 	for i := range slots {
 		s := &slots[i]
+		r := &replies[i]
 		k.km.InFlight.Add(-1)
 		if !s.ok {
 			continue
@@ -910,6 +914,11 @@ func (k *kernel) applyParallel(replies []crowd.Reply) {
 		if s.departed {
 			k.stats.Departures++
 			k.km.Departures.Inc()
+			if k.jr != nil {
+				k.jr.DepartureEvent(k.jrRun, k.stats.Rounds, r.Ask.ID, s.user.id, r.Outcome.String(),
+					r.Support, r.Choice, prunedInts(r.Pruned), int64(r.Elapsed))
+			}
+			k.sb.Departure(s.user.id)
 			continue
 		}
 		if s.timedOut {
@@ -917,9 +926,15 @@ func (k *kernel) applyParallel(replies []crowd.Reply) {
 			k.stats.Discarded++
 			k.km.Timeouts.Inc()
 			k.km.Discarded.Inc()
+			if k.jr != nil {
+				k.jr.TimeoutEvent(k.jrRun, k.stats.Rounds, r.Ask.ID, s.user.id, r.Outcome.String(),
+					r.Support, r.Choice, prunedInts(r.Pruned), int64(r.Elapsed), s.struckOut)
+			}
+			k.sb.Timeout(s.user.id, s.struckOut)
 			if s.struckOut {
 				k.stats.Departures++
 				k.km.Departures.Inc()
+				k.sb.Departure(s.user.id)
 			}
 			continue
 		}
@@ -928,6 +943,11 @@ func (k *kernel) applyParallel(replies []crowd.Reply) {
 		}
 		k.stats.Questions++
 		k.km.Questions.Inc()
+		if k.jr != nil {
+			k.jr.ReplyEvent(k.jrRun, k.stats.Rounds, r.Ask.ID, s.user.id, r.Outcome.String(),
+				r.Support, r.Choice, prunedInts(r.Pruned), int64(r.Elapsed), "")
+		}
+		k.sb.Reply(s.user.id, r.Support, r.Elapsed.Seconds())
 		switch s.kind {
 		case crowd.ConcreteAsk:
 			k.stats.ConcreteQ++
@@ -950,6 +970,9 @@ func (k *kernel) applyParallel(replies []crowd.Reply) {
 				continue
 			}
 			k.agg.Add(ar.node.ID(), s.user.id, ar.support)
+			if k.jr != nil && k.agg.Answers(ar.node.ID()) == 1 {
+				k.jr.NoteNewAnswer(k.jrRun)
+			}
 			if d := k.agg.Decide(ar.node.ID()); d != crowd.Undecided {
 				k.settle(ar.node, d)
 			}

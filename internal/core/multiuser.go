@@ -171,6 +171,17 @@ func (e *Engine) drive(dispatch func([]*crowd.Ask) []crowd.Reply) *Result {
 	km := e.k.km // non-nil; all fields no-ops when unobserved
 	tr := e.k.cfg.Obs.Trace()
 	runStart := e.clock.Now()
+	if jr := e.k.jr; jr != nil {
+		// The journal records on the engine clock: a chaos VirtualClock
+		// run journals deterministic timestamps. The run scope opens here
+		// so every kernel emission below carries this run's ID.
+		jr.BindClock(e.clock.Now)
+		ids := make([]string, len(e.k.users))
+		for i, u := range e.k.users {
+			ids[i] = u.id
+		}
+		e.k.jrRun = jr.StartRun(ids, e.k.cfg.Seed, e.k.cfg.Theta)
+	}
 	for {
 		roundStart := e.clock.Now()
 		asks := e.k.beginRound()
@@ -198,9 +209,15 @@ func (e *Engine) drive(dispatch func([]*crowd.Ask) []crowd.Reply) *Result {
 				obs.Attr{Key: "asks", Val: int64(len(asks))},
 				obs.Attr{Key: "replies", Val: int64(len(replies))},
 				obs.Attr{Key: "border", Val: int64(border)})
+			e.k.jr.RoundEnd(e.k.jrRun, e.k.stats.Rounds, len(asks), len(replies),
+				border, int64(e.k.stats.Questions))
 		}
 	}
 	e.k.finalize()
+	if e.k.jr != nil {
+		// finalize-time settles land in the curve's final bucket.
+		e.k.jr.EndRun(e.k.jrRun, e.k.stats.Rounds, int64(e.k.stats.Questions))
+	}
 	return e.k.result()
 }
 

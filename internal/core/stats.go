@@ -106,6 +106,14 @@ type Result struct {
 	// Trace, when the run carried an Observer, summarizes its recorded
 	// spans by (phase, name) — where the run's time went. Nil otherwise.
 	Trace *obs.TraceSummary
+	// Curve, when the run carried a journal, is the answer-arrival curve:
+	// per-round new-MSP and new-distinct-answer discoveries against the
+	// cumulative question spend. Nil otherwise.
+	Curve []obs.CurvePoint
+	// JournalRun, when the run carried a journal, is the run ID its
+	// journal events were recorded under — the join key for post-hoc cost
+	// attribution over a shared journal. 0 otherwise.
+	JournalRun int64
 }
 
 // SupportOf returns the aggregated support recorded for an assignment

@@ -55,6 +55,18 @@ const (
 	Departed
 )
 
+// String returns the journal wire spelling of the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case TimedOut:
+		return "timedout"
+	case Departed:
+		return "departed"
+	default:
+		return "answered"
+	}
+}
+
 // Reply is the resolution event for one Ask.
 type Reply struct {
 	Ask     *Ask

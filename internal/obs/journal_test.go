@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// journalFixtureEvents exercises every field shape the encoder handles:
+// negative choices, shortest-round-trip floats, pruned slices, escaped
+// strings, and zero values that must be omitted and decode back to zero.
+func journalFixtureEvents() []Event {
+	return []Event{
+		{Kind: EvRunStart, Run: 1, Members: []string{"u1", `u"2\n`}, Seed: -7, Theta: 0.4},
+		{Kind: EvAsk, Run: 1, Round: 1, Ask: 42, Member: "u1", QKind: "specialize",
+			Key: "s=1;", Probe: true, Options: 3},
+		{Kind: EvReply, Run: 1, Round: 1, Ask: 42, Member: "u1", Outcome: "answered",
+			Support: 0.1 + 0.2, Choice: -1, Pruned: []int32{3, -9}, Elapsed: 1500},
+		{Kind: EvTimeout, Run: 1, Round: 2, Ask: 43, Member: "u1", Outcome: "answered",
+			Elapsed: 9e9, Struck: true},
+		{Kind: EvDeparture, Run: 1, Round: 2, Ask: 44, Member: "u1", Outcome: "departed"},
+		{Kind: EvMSP, Run: 1, Round: 3, Key: "s=1;p=2;", Questions: 17},
+		{Kind: EvRoundEnd, Run: 1, Round: 3, Asks: 5, Replies: 5, Border: 2,
+			Questions: 17, NewMSPs: 1, NewAnswers: 4},
+		{Kind: EvRunEnd, Run: 1, Rounds: 3, Questions: 17},
+		{Kind: EvStoreHit, Member: "u1", Key: "q\tkey"},
+		{Kind: EvQueryExec, Run: 2, Key: "q0001", Elapsed: 12345, Hit: true, Rows: 99},
+	}
+}
+
+// TestJournalEventJSONRoundTrip pins the wire format: the hand-rolled
+// encoder must produce JSON that encoding/json decodes back into an
+// identical Event, including float round-trips and escaped strings.
+func TestJournalEventJSONRoundTrip(t *testing.T) {
+	for i, want := range journalFixtureEvents() {
+		want.Seq = int64(i)
+		want.At = int64(i) * 1000
+		line := appendEventJSON(nil, &want)
+		var got Event
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatalf("event %d: invalid JSON %q: %v", i, line, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("event %d round-trip diverged:\nencoded: %s\nwant %+v\ngot  %+v",
+				i, line, want, got)
+		}
+	}
+}
+
+// TestJournalJSONLDeterminism pins byte-level determinism: recording the
+// same events twice produces identical JSONL, and ReadJournalJSONL decodes
+// the stream back to the recorded events.
+func TestJournalJSONLDeterminism(t *testing.T) {
+	write := func() (string, []Event) {
+		j := NewJournal(64)
+		var sink bytes.Buffer
+		j.SetSink(&sink)
+		for _, e := range journalFixtureEvents() {
+			j.record(e)
+		}
+		if err := j.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.String(), j.Events()
+	}
+	out1, evs := write()
+	out2, _ := write()
+	if out1 != out2 {
+		t.Fatalf("JSONL output is not deterministic:\n%s\nvs\n%s", out1, out2)
+	}
+	decoded, err := ReadJournalJSONL(strings.NewReader(out1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, decoded) {
+		t.Fatalf("sink decode diverged from ring:\nring: %+v\ndecoded: %+v", evs, decoded)
+	}
+	var buf bytes.Buffer
+	j := NewJournal(64)
+	for _, e := range journalFixtureEvents() {
+		j.record(e)
+	}
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != out1 {
+		t.Fatalf("WriteJSONL diverged from sink output:\n%s\nvs\n%s", buf.String(), out1)
+	}
+}
+
+// TestJournalRingOverwrite checks wraparound accounting: a ring of n keeps
+// the newest n events in order, counts drops, while a sink still sees all.
+func TestJournalRingOverwrite(t *testing.T) {
+	j := NewJournal(4)
+	var sink bytes.Buffer
+	j.SetSink(&sink)
+	for i := 0; i < 10; i++ {
+		j.record(Event{Kind: EvAsk, Ask: int64(i)})
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Total() != 10 || j.Dropped() != 6 {
+		t.Fatalf("Total=%d Dropped=%d, want 10/6", j.Total(), j.Dropped())
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Ask != int64(6+i) || e.Seq != int64(6+i) {
+			t.Fatalf("event %d: ask=%d seq=%d, want %d", i, e.Ask, e.Seq, 6+i)
+		}
+	}
+	if tail := j.Tail(2); len(tail) != 2 || tail[1].Ask != 9 {
+		t.Fatalf("Tail(2) = %+v", tail)
+	}
+	all, err := ReadJournalJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("sink saw %d events, want all 10", len(all))
+	}
+}
+
+// TestJournalClockAndCurve drives one synthetic run through the journal's
+// run lifecycle on an explicit clock and checks the arrival curve buckets.
+func TestJournalClockAndCurve(t *testing.T) {
+	now := time.Unix(100, 0)
+	j := NewJournal(0)
+	j.BindClock(func() time.Time { return now })
+
+	run := j.StartRun([]string{"u1", "u2"}, 9, 0.3)
+	if run != 1 {
+		t.Fatalf("run = %d, want 1", run)
+	}
+	if j.LastRun() != 1 {
+		t.Fatalf("LastRun = %d", j.LastRun())
+	}
+	now = now.Add(5 * time.Millisecond)
+	j.NoteNewAnswer(run)
+	j.NoteNewAnswer(run)
+	j.MSPEvent(run, 1, "k1", 2)
+	j.RoundEnd(run, 1, 2, 2, 1, 2)
+	j.NoteNewAnswer(run)
+	j.EndRun(run, 2, 3)
+
+	curve := j.Curve(run)
+	want := []CurvePoint{
+		{Round: 1, Questions: 2, NewMSPs: 1, NewAnswers: 2, MSPs: 1, Answers: 2},
+		{Round: 2, Questions: 3, NewAnswers: 1, MSPs: 1, Answers: 3},
+	}
+	if !reflect.DeepEqual(curve, want) {
+		t.Fatalf("curve = %+v, want %+v", curve, want)
+	}
+
+	evs := j.Events()
+	if evs[0].Kind != EvRunStart || evs[0].At != 0 {
+		t.Fatalf("run_start = %+v", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != EvRunEnd || last.At != int64(5*time.Millisecond) {
+		t.Fatalf("run_end = %+v", last)
+	}
+}
+
+// TestJournalCurveEviction checks the per-run curve bound: curves past
+// maxJournalCurves are evicted oldest-first, newest runs stay queryable.
+func TestJournalCurveEviction(t *testing.T) {
+	j := NewJournal(0)
+	var last int64
+	for i := 0; i < maxJournalCurves+5; i++ {
+		last = j.StartRun([]string{"u"}, 1, 0.5)
+		j.NoteNewAnswer(last)
+		j.RoundEnd(last, 1, 1, 1, 0, 1)
+	}
+	if j.Curve(1) != nil {
+		t.Fatal("oldest curve survived past the bound")
+	}
+	if c := j.Curve(last); len(c) != 1 || c[0].NewAnswers != 1 {
+		t.Fatalf("newest curve = %+v", c)
+	}
+}
+
+// TestJournalNilSafety: every method must be a no-op on a nil journal.
+func TestJournalNilSafety(t *testing.T) {
+	var j *Journal
+	j.BindClock(time.Now)
+	j.SetSink(&bytes.Buffer{})
+	run := j.StartRun([]string{"u"}, 1, 0.5)
+	j.AskEvent(run, 1, 1, "u", "concrete", "k", false, 0)
+	j.ReplyEvent(run, 1, 1, "u", "answered", 0.5, -1, nil, 0, "")
+	j.TimeoutEvent(run, 1, 1, "u", "answered", 0, -1, nil, 0, false)
+	j.DepartureEvent(run, 1, 1, "u", "departed", 0, -1, nil, 0)
+	j.MSPEvent(run, 1, "k", 1)
+	j.NoteNewAnswer(run)
+	j.RoundEnd(run, 1, 1, 1, 0, 1)
+	j.StoreEvent(EvStoreHit, "u", "k")
+	j.QueryExec(run, "q", 1, false, 1)
+	j.EndRun(run, 1, 1)
+	if j.Events() != nil || j.Curve(run) != nil || j.Total() != 0 || j.LastRun() != 0 {
+		t.Fatal("nil journal retained state")
+	}
+	if err := j.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalConcurrentRecord hammers the ring and the sink from many
+// goroutines; run under -race this pins the locking discipline, and the
+// sequence numbers must come out dense and unique.
+func TestJournalConcurrentRecord(t *testing.T) {
+	j := NewJournal(128)
+	var sink bytes.Buffer
+	j.SetSink(&sink)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			run := j.StartRun([]string{fmt.Sprintf("w%d", w)}, int64(w), 0.5)
+			for i := 0; i < per; i++ {
+				j.AskEvent(run, 1, int64(i), "m", "concrete", "k", false, 0)
+				j.NoteNewAnswer(run)
+			}
+			j.RoundEnd(run, 1, per, per, 0, per)
+			j.EndRun(run, 1, per)
+		}(w)
+	}
+	wg.Wait()
+	const wantTotal = workers * (per + 3) // run_start + asks + round_end + run_end
+	if j.Total() != wantTotal {
+		t.Fatalf("Total = %d, want %d", j.Total(), wantTotal)
+	}
+	all, err := ReadJournalJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != wantTotal {
+		t.Fatalf("sink saw %d events, want %d", len(all), wantTotal)
+	}
+	seen := make(map[int64]bool, len(all))
+	for _, e := range all {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if int64(len(seen)) != wantTotal || seen[wantTotal] {
+		t.Fatal("sequence numbers are not dense")
+	}
+}
+
+// TestScoreboardSnapshot feeds a board by hand and checks the derived
+// rates, quantiles and Prometheus families.
+func TestScoreboardSnapshot(t *testing.T) {
+	r := NewRegistry()
+	b := NewScoreboard(r)
+	for i := 0; i < 4; i++ {
+		b.Asked("u1")
+	}
+	b.Reply("u1", 0.8, 0.010)
+	b.Reply("u1", 0.4, 0.030)
+	b.Timeout("u1", false)
+	b.Timeout("u1", true)
+	b.Departure("u1")
+	b.Agree("u1", true)
+	b.Agree("u1", true)
+	b.Agree("u1", false)
+	b.Asked("u2")
+	b.Ban("u2")
+	b.Ban("u2") // second ban must not double-count the metric
+
+	cards := b.Snapshot()
+	if len(cards) != 2 || cards[0].Member != "u1" || cards[1].Member != "u2" {
+		t.Fatalf("snapshot = %+v", cards)
+	}
+	u1 := cards[0]
+	if u1.Asked != 4 || u1.Answered != 2 || u1.Timeouts != 2 || u1.Strikes != 1 || !u1.Departed {
+		t.Fatalf("u1 counts = %+v", u1)
+	}
+	if u1.TimeoutRate != 0.5 {
+		t.Fatalf("TimeoutRate = %v", u1.TimeoutRate)
+	}
+	if diff := u1.MeanSupport - 0.6; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("MeanSupport = %v", u1.MeanSupport)
+	}
+	if diff := u1.Agreement - 2.0/3.0; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("Agreement = %v", u1.Agreement)
+	}
+	if u1.P50Latency <= 0 || u1.P95Latency < u1.P50Latency || u1.P99Latency < u1.P95Latency {
+		t.Fatalf("latency quantiles not ordered: %+v", u1)
+	}
+	u2 := cards[1]
+	if !u2.Banned || u2.Agreement != -1 {
+		t.Fatalf("u2 = %+v", u2)
+	}
+
+	var prom bytes.Buffer
+	r.WritePrometheus(&prom)
+	text := prom.String()
+	for _, want := range []string{
+		`oassis_member_replies_total{member="u1",outcome="answered"} 2`,
+		`oassis_member_replies_total{member="u1",outcome="timedout"} 2`,
+		`oassis_member_strikes_total{member="u1"} 1`,
+		`oassis_member_bans_total{member="u2"} 1`,
+		`oassis_member_agreement_total{member="u1",verdict="agreed"} 2`,
+		`oassis_member_round_trip_seconds_p50{member="u1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	var nilBoard *Scoreboard
+	nilBoard.Asked("x")
+	nilBoard.Reply("x", 1, 1)
+	nilBoard.Timeout("x", true)
+	nilBoard.Departure("x")
+	nilBoard.Ban("x")
+	nilBoard.Agree("x", true)
+	if nilBoard.Snapshot() != nil {
+		t.Fatal("nil scoreboard returned cards")
+	}
+}
+
+// TestHistogramQuantile pins the linear-interpolation estimator on a
+// hand-checkable distribution.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 10 observations in (0,1], 10 in (1,2]; none beyond.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if q := h.Quantile(0.25); q != 0.5 {
+		t.Fatalf("Quantile(0.25) = %v, want 0.5 (middle of first bucket)", q)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("Quantile(0.5) = %v, want 1 (first bucket boundary)", q)
+	}
+	if q := h.Quantile(0.75); q != 1.5 {
+		t.Fatalf("Quantile(0.75) = %v, want 1.5", q)
+	}
+	if q := h.Quantile(1); q != 2 {
+		t.Fatalf("Quantile(1) = %v, want 2", q)
+	}
+	// Overflow observations clamp to the last finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow Quantile = %v, want clamp to last bound", q)
+	}
+	var hnil *Histogram
+	if hnil.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile")
+	}
+	if NewHistogram([]float64{1}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+}

@@ -146,6 +146,54 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the p-quantile (p clamped to [0,1]) by linear
+// interpolation within the bucket holding the rank — the standard
+// fixed-bucket estimator (what PromQL's histogram_quantile computes
+// server-side). Observations in the +Inf overflow bucket are reported as
+// the last finite bound: the estimator cannot see past its buckets.
+// Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // metric is one named entry of a Registry.
 type metric interface {
 	metricName() string
@@ -340,11 +388,28 @@ func writeHistogramLines(w io.Writer, name, extraLabels string, h *Histogram) {
 	if extraLabels != "" {
 		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, extraLabels, formatFloat(h.Sum()))
 		fmt.Fprintf(w, "%s_count{%s} %d\n", name, extraLabels, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	}
+	if h.Count() == 0 {
 		return
 	}
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	// Pre-interpolated quantile gauges, so scrapers without PromQL (and
+	// the scorecards endpoint) get p50/p95/p99 directly.
+	for _, q := range quantileSeries {
+		if extraLabels != "" {
+			fmt.Fprintf(w, "%s_%s{%s} %s\n", name, q.suffix, extraLabels, formatFloat(h.Quantile(q.p)))
+		} else {
+			fmt.Fprintf(w, "%s_%s %s\n", name, q.suffix, formatFloat(h.Quantile(q.p)))
+		}
+	}
 }
+
+var quantileSeries = []struct {
+	suffix string
+	p      float64
+}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}
 
 func formatFloat(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {

@@ -323,3 +323,74 @@ func BenchmarkDisabledCounter(b *testing.B) {
 		c.Inc()
 	}
 }
+
+// TestTracerConcurrentBeginEnd overwrites a tiny ring from many concurrent
+// Begin/End pairs; -race pins the locking discipline, and the survivor and
+// drop accounting must balance exactly.
+func TestTracerConcurrentBeginEnd(t *testing.T) {
+	tr := NewTracer(8)
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				start := tr.Begin()
+				tr.End("op", start, Attr{Key: "i", Val: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(spans))
+	}
+	for _, s := range spans {
+		if s.Name != "op" || len(s.Attrs) != 1 {
+			t.Fatalf("corrupted span: %+v", s)
+		}
+	}
+	if got := tr.Dropped(); got != workers*per-8 {
+		t.Fatalf("dropped = %d, want %d", got, workers*per-8)
+	}
+}
+
+// TestTracerDeterministicOutput pins the output contracts downstream
+// tooling depends on: Summary entries come out sorted by (phase, name)
+// regardless of record order, and two tracers fed the same span sequence
+// emit byte-identical JSONL (stable field order, no map iteration).
+func TestTracerDeterministicOutput(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer(16)
+		tr.SetPhase("zeta")
+		tr.Record("late", 0, time.Millisecond)
+		tr.Record("early", time.Millisecond, 2*time.Millisecond, Attr{Key: "k", Val: 1})
+		tr.SetPhase("alpha")
+		tr.Record("late", 2*time.Millisecond, time.Millisecond)
+		return tr
+	}
+	t1, t2 := build(), build()
+	var b1, b2 bytes.Buffer
+	if err := t1.WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("JSONL output not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	sum := t1.Summary()
+	var order []string
+	for _, e := range sum.Entries {
+		order = append(order, e.Phase+"/"+e.Name)
+	}
+	want := []string{"alpha/late", "zeta/early", "zeta/late"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("summary order = %v, want %v", order, want)
+	}
+	if sum.String() != t2.Summary().String() {
+		t.Fatal("summary rendering not deterministic")
+	}
+}

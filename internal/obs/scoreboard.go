@@ -1,0 +1,224 @@
+package obs
+
+// The scoreboard maintains per-member quality and latency profiles — the
+// inputs OASSIS-style question routing needs at production scale: who
+// answers fast, who times out, who departs mid-run, who contradicts the
+// aggregate. It is fed from the kernel's journal emit points (and costs
+// nothing when disabled: a nil *Scoreboard is a no-op), keeps a latency
+// histogram per member for quantile estimates, and exposes both a JSON
+// snapshot (the server's GET /members) and oassis_member_* Prometheus
+// families when built over a Registry.
+
+import (
+	"sort"
+	"sync"
+)
+
+// memberCard is the mutable per-member accumulator.
+type memberCard struct {
+	asked     int64
+	answered  int64
+	timeouts  int64
+	strikes   int64
+	departed  bool
+	banned    bool
+	agreed    int64
+	disagreed int64
+	supSum    float64
+	latency   *Histogram // seconds
+}
+
+// MemberScorecard is one member's profile snapshot.
+type MemberScorecard struct {
+	Member      string  `json:"member"`
+	Asked       int64   `json:"asked"`
+	Answered    int64   `json:"answered"`
+	Timeouts    int64   `json:"timeouts"`
+	Strikes     int64   `json:"strikes"`
+	Departed    bool    `json:"departed"`
+	Banned      bool    `json:"banned"`
+	TimeoutRate float64 `json:"timeout_rate"` // timeouts / asked
+	MeanSupport float64 `json:"mean_support"` // over usable answers
+	// Agreement is the fraction of settled questions where the member's
+	// verdict (support >= theta) matched the aggregate decision; -1 when
+	// no question the member answered has settled yet.
+	Agreement   float64 `json:"agreement"`
+	MeanLatency float64 `json:"mean_latency_s"`
+	P50Latency  float64 `json:"p50_latency_s"`
+	P95Latency  float64 `json:"p95_latency_s"`
+	P99Latency  float64 `json:"p99_latency_s"`
+}
+
+// Scoreboard tracks per-member scorecards. Construct with NewScoreboard
+// (pass a Registry to also export oassis_member_* metric families, or nil
+// for a standalone board). A nil *Scoreboard is a no-op on every method.
+type Scoreboard struct {
+	mu      sync.Mutex
+	members map[string]*memberCard
+
+	// Prometheus families; nil when the board is standalone.
+	latencyVec *HistogramVec // label: member
+	repliesVec *CounterVec   // labels: member, outcome
+	agreeVec   *CounterVec   // labels: member, verdict
+	strikesVec *CounterVec   // label: member
+	bansVec    *CounterVec   // label: member
+}
+
+// NewScoreboard returns a scoreboard; r may be nil for a board without
+// Prometheus export.
+func NewScoreboard(r *Registry) *Scoreboard {
+	b := &Scoreboard{members: make(map[string]*memberCard)}
+	if r != nil {
+		b.latencyVec = r.HistogramVec("oassis_member_round_trip_seconds",
+			"Per-member question round-trip latency.", DefaultLatencyBuckets, "member")
+		b.repliesVec = r.CounterVec("oassis_member_replies_total",
+			"Per-member reply outcomes folded by the kernel.", "member", "outcome")
+		b.agreeVec = r.CounterVec("oassis_member_agreement_total",
+			"Per-member settled-question verdicts vs the aggregate decision.", "member", "verdict")
+		b.strikesVec = r.CounterVec("oassis_member_strikes_total",
+			"Per-member timeout strikes.", "member")
+		b.bansVec = r.CounterVec("oassis_member_bans_total",
+			"Members banned for contradictory answer patterns.", "member")
+	}
+	return b
+}
+
+// card returns the member's accumulator, creating it on first use.
+// Caller holds b.mu.
+func (b *Scoreboard) card(member string) *memberCard {
+	c := b.members[member]
+	if c == nil {
+		c = &memberCard{latency: NewHistogram(DefaultLatencyBuckets)}
+		b.members[member] = c
+	}
+	return c
+}
+
+// Asked records one question issued to the member.
+func (b *Scoreboard) Asked(member string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.card(member).asked++
+	b.mu.Unlock()
+}
+
+// Reply records one usable answer: its support and round-trip seconds.
+func (b *Scoreboard) Reply(member string, support, seconds float64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	c := b.card(member)
+	c.answered++
+	c.supSum += support
+	c.latency.Observe(seconds)
+	b.mu.Unlock()
+	b.latencyVec.With(member).Observe(seconds)
+	b.repliesVec.With(member, "answered").Inc()
+}
+
+// Timeout records one timed-out question; struck reports whether it
+// struck the member out of the run.
+func (b *Scoreboard) Timeout(member string, struck bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	c := b.card(member)
+	c.timeouts++
+	if struck {
+		c.strikes++
+	}
+	b.mu.Unlock()
+	b.repliesVec.With(member, "timedout").Inc()
+	if struck {
+		b.strikesVec.With(member).Inc()
+	}
+}
+
+// Departure marks the member as departed.
+func (b *Scoreboard) Departure(member string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.card(member).departed = true
+	b.mu.Unlock()
+	b.repliesVec.With(member, "departed").Inc()
+}
+
+// Ban marks the member as banned for contradictory answers.
+func (b *Scoreboard) Ban(member string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	c := b.card(member)
+	first := !c.banned
+	c.banned = true
+	b.mu.Unlock()
+	if first {
+		b.bansVec.With(member).Inc()
+	}
+}
+
+// Agree records whether the member's verdict on a settled question
+// matched the aggregate decision.
+func (b *Scoreboard) Agree(member string, agree bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	c := b.card(member)
+	verdict := "disagreed"
+	if agree {
+		c.agreed++
+		verdict = "agreed"
+	} else {
+		c.disagreed++
+	}
+	b.mu.Unlock()
+	b.agreeVec.With(member, verdict).Inc()
+}
+
+// Snapshot returns every member's scorecard, sorted by member name.
+func (b *Scoreboard) Snapshot() []MemberScorecard {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]MemberScorecard, 0, len(b.members))
+	for name, c := range b.members {
+		sc := MemberScorecard{
+			Member:    name,
+			Asked:     c.asked,
+			Answered:  c.answered,
+			Timeouts:  c.timeouts,
+			Strikes:   c.strikes,
+			Departed:  c.departed,
+			Banned:    c.banned,
+			Agreement: -1,
+		}
+		if c.asked > 0 {
+			sc.TimeoutRate = float64(c.timeouts) / float64(c.asked)
+		}
+		if c.answered > 0 {
+			sc.MeanSupport = c.supSum / float64(c.answered)
+		}
+		if settled := c.agreed + c.disagreed; settled > 0 {
+			sc.Agreement = float64(c.agreed) / float64(settled)
+		}
+		if n := c.latency.Count(); n > 0 {
+			sc.MeanLatency = c.latency.Sum() / float64(n)
+			sc.P50Latency = c.latency.Quantile(0.50)
+			sc.P95Latency = c.latency.Quantile(0.95)
+			sc.P99Latency = c.latency.Quantile(0.99)
+		}
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
+	return out
+}

@@ -346,6 +346,13 @@ type Observer struct {
 	Server   *ServerMetrics
 	Platform *PlatformMetrics
 	Ingest   *IngestMetrics
+
+	// Journal and Board are opt-in (nil by default, even on a live
+	// Observer): the flight recorder and the per-member scorecards cost
+	// per-event work the aggregate counters above do not, so they are
+	// enabled explicitly via EnableJournal / EnableScorecards.
+	Journal *Journal
+	Board   *Scoreboard
 }
 
 // New returns an Observer with a fresh registry, a default-capacity tracer,
@@ -415,6 +422,48 @@ func (o *Observer) IngestSet() *IngestMetrics {
 		return nil
 	}
 	return o.Ingest
+}
+
+// EnableJournal attaches a flight-recorder journal with the given ring
+// capacity (DefaultJournalCapacity if n <= 0), returning it. Calling it
+// again returns the existing journal.
+func (o *Observer) EnableJournal(n int) *Journal {
+	if o == nil {
+		return nil
+	}
+	if o.Journal == nil {
+		o.Journal = NewJournal(n)
+	}
+	return o.Journal
+}
+
+// EnableScorecards attaches a per-member scoreboard, registering its
+// oassis_member_* families, and returns it. Calling it again returns the
+// existing board.
+func (o *Observer) EnableScorecards() *Scoreboard {
+	if o == nil {
+		return nil
+	}
+	if o.Board == nil {
+		o.Board = NewScoreboard(o.Registry)
+	}
+	return o.Board
+}
+
+// JournalSet returns the journal (nil when disabled or for a nil observer).
+func (o *Observer) JournalSet() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.Journal
+}
+
+// BoardSet returns the scoreboard (nil when disabled or for a nil observer).
+func (o *Observer) BoardSet() *Scoreboard {
+	if o == nil {
+		return nil
+	}
+	return o.Board
 }
 
 // Trace returns the tracer (nil for a nil observer).

@@ -136,6 +136,7 @@ type Platform struct {
 	cfg   Config
 	clock chaos.Clock
 	pm    *obs.PlatformMetrics // non-nil; all fields no-ops when unobserved
+	jr    *obs.Journal         // nil unless the observer carries a journal
 
 	mu       sync.Mutex
 	entries  map[askKey]*entry
@@ -155,6 +156,7 @@ func New(cfg Config) *Platform {
 		cfg:     cfg,
 		clock:   clock,
 		pm:      cfg.Obs.PlatformSet().OrNop(),
+		jr:      cfg.Obs.JournalSet(),
 		entries: make(map[askKey]*entry),
 		recency: list.New(),
 		flights: make(map[askKey]*flight),
@@ -310,6 +312,7 @@ func (c *Conn) Post(ask *crowd.Ask, deliver func(crowd.Reply)) {
 			r := e.replyFor(ask, perm, 0)
 			p.mu.Unlock()
 			p.pm.Hits.Inc()
+			p.jr.StoreEvent(obs.EvStoreHit, ask.Member, q)
 			c.hits.Add(1)
 			deliver(r)
 			return
@@ -322,8 +325,10 @@ func (c *Conn) Post(ask *crowd.Ask, deliver func(crowd.Reply)) {
 		if expired {
 			p.pm.Expired.Inc()
 			p.pm.Entries.Add(-1)
+			p.jr.StoreEvent(obs.EvStoreExpired, ask.Member, q)
 		}
 		p.pm.Joins.Inc()
+		p.jr.StoreEvent(obs.EvStoreJoin, ask.Member, q)
 		c.joins.Add(1)
 		return
 	}
@@ -333,8 +338,10 @@ func (c *Conn) Post(ask *crowd.Ask, deliver func(crowd.Reply)) {
 	if expired {
 		p.pm.Expired.Inc()
 		p.pm.Entries.Add(-1)
+		p.jr.StoreEvent(obs.EvStoreExpired, ask.Member, q)
 	}
 	p.pm.Misses.Inc()
+	p.jr.StoreEvent(obs.EvStoreMiss, ask.Member, q)
 	c.misses.Add(1)
 
 	c.next.Post(ask, func(r crowd.Reply) {

@@ -9,6 +9,7 @@ import (
 
 	"oassis/internal/chaos"
 	"oassis/internal/crowd"
+	"oassis/internal/obs"
 	"oassis/internal/ontology"
 	"oassis/internal/platform"
 	"oassis/internal/vocab"
@@ -454,5 +455,54 @@ func TestPlatformStatsString(t *testing.T) {
 	st := platform.Stats{Hits: 1, Misses: 2}
 	if fmt.Sprintf("%+v", st) == "" {
 		t.Fatal("unprintable stats")
+	}
+}
+
+// TestPlatformStoreJournalEvents wires an observer journal into the
+// platform and checks each store outcome lands as its own flight-recorder
+// event — hit, miss and in-flight join — carrying the asking member and
+// the canonical question key.
+func TestPlatformStoreJournalEvents(t *testing.T) {
+	o := obs.New()
+	j := o.EnableJournal(0)
+	b := &scriptBroker{support: 0.8, choice: -1, hold: true}
+	p := platform.New(platform.Config{Obs: o})
+	c := p.Attach(b)
+	defer c.Detach()
+
+	var mu sync.Mutex
+	var replies []crowd.Reply
+
+	// First ask: a miss, parked in flight.
+	a1 := concreteAsk("m0", fs(1, 2, 3))
+	c.Post(a1, collect(&mu, &replies))
+	// Same question again while still in flight: a join.
+	c.Post(concreteAsk("m0", fs(1, 2, 3)), collect(&mu, &replies))
+	b.release()
+	// Now it is cached: a hit.
+	c.Post(concreteAsk("m0", fs(1, 2, 3)), collect(&mu, &replies))
+	if len(replies) != 3 {
+		t.Fatalf("delivered %d replies, want 3", len(replies))
+	}
+
+	wantKey, _ := crowd.QuestionKey(a1)
+	counts := map[string]int{}
+	for _, e := range j.Events() {
+		counts[e.Kind]++
+		if e.Member != "m0" {
+			t.Errorf("%s event from member %q, want m0", e.Kind, e.Member)
+		}
+		if e.Key != wantKey {
+			t.Errorf("%s event key %q, want %q", e.Kind, e.Key, wantKey)
+		}
+	}
+	want := map[string]int{obs.EvStoreMiss: 1, obs.EvStoreJoin: 1, obs.EvStoreHit: 1}
+	for kind, n := range want {
+		if counts[kind] != n {
+			t.Errorf("%d %s events, want %d (all: %v)", counts[kind], kind, n, counts)
+		}
+	}
+	if got := len(j.Events()); got != 3 {
+		t.Errorf("journal holds %d events, want 3", got)
 	}
 }

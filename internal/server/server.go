@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -228,8 +229,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /answer", s.instrument("/answer", s.handleAnswer))
 	mux.HandleFunc("GET /results", s.instrument("/results", s.handleResults))
 	mux.HandleFunc("GET /queries", s.instrument("/queries", s.handleQueries))
+	mux.HandleFunc("GET /status", s.instrument("/status", s.handleStatus))
 	if s.cfg.Obs != nil {
 		mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+		mux.HandleFunc("GET /members", s.instrument("/members", s.handleMembers))
+		mux.HandleFunc("GET /journal", s.instrument("/journal", s.handleJournal))
 	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -609,6 +613,89 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		resp["departures"] = s.result.Stats.Departures
 	}
 	writeJSON(w, resp)
+}
+
+// handleStatus reports live run progress: the platform's lifecycle flags,
+// and — when the server carries an Observer — the kernel's live counters
+// and gauges plus the journal's totals and the newest run's arrival-curve
+// tail. It is the "is it stuck or mining?" endpoint: watch border shrink
+// and questions climb without scraping the full /metrics text.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := map[string]any{
+		"started": s.started,
+		"done":    s.done,
+		"members": len(s.members),
+		"answers": len(s.msps),
+	}
+	if s.current != "" {
+		resp["query"] = s.current
+	}
+	s.mu.Unlock()
+	if o := s.cfg.Obs; o != nil {
+		if km := o.KernelSet(); km != nil {
+			resp["kernel"] = map[string]any{
+				"rounds":     km.Rounds.Value(),
+				"asks":       km.Asks.Value(),
+				"questions":  km.Questions.Value(),
+				"msps":       km.MSPs.Value(),
+				"departures": km.Departures.Value(),
+				"timeouts":   km.Timeouts.Value(),
+				"in_flight":  km.InFlight.Value(),
+				"border":     km.Border.Value(),
+			}
+		}
+		if jr := o.JournalSet(); jr != nil {
+			j := map[string]any{
+				"events":  jr.Total(),
+				"dropped": jr.Dropped(),
+			}
+			if run := jr.LastRun(); run != 0 {
+				curve := jr.Curve(run)
+				if len(curve) > 8 {
+					curve = curve[len(curve)-8:]
+				}
+				j["run"] = run
+				j["curve_tail"] = curve
+			}
+			resp["journal"] = j
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleMembers serves the per-member scorecards as JSON, sorted by member
+// ID. 404 until the observer carries a scoreboard (oassis-serve
+// -scorecards, or Observer.EnableScorecards).
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	b := s.cfg.Obs.BoardSet()
+	if b == nil {
+		http.Error(w, "scorecards not enabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"members": b.Snapshot()})
+}
+
+// handleJournal streams the journal ring's most recent events as JSONL;
+// ?n= bounds the tail (default 256, n<=0 for the whole surviving ring).
+// 404 until the observer carries a journal.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	jr := s.cfg.Obs.JournalSet()
+	if jr == nil {
+		http.Error(w, "journal not enabled", http.StatusNotFound)
+		return
+	}
+	n := 256
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	jr.WriteTailJSONL(w, n)
 }
 
 // handleQueries lists the registered query fleet: every AttachNamed name in

@@ -132,6 +132,11 @@ type Evaluator struct {
 	// Wire the store-shared instance with UseSharedCache. Nil disables
 	// caching.
 	Cache *PlanCache
+	// LastCompileCacheHit reports whether the most recent Compile through
+	// a Cache was served from it (false after a miss or when no cache is
+	// wired). Per-evaluator, so fleet workers — one evaluator each — can
+	// attribute per-execution cache behaviour without a metrics registry.
+	LastCompileCacheHit bool
 }
 
 // NewEvaluator returns an evaluator over the store.

@@ -6,12 +6,15 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"oassis/internal/assign"
+	"oassis/internal/core"
+	"oassis/internal/crowd"
 	"oassis/internal/oassisql"
 	"oassis/internal/obs"
 	"oassis/internal/ontology"
@@ -166,7 +169,16 @@ type FleetConfig struct {
 	// Workers fans executions out; 0 means GOMAXPROCS.
 	Workers int
 	Seed    int64
+	// MineMembers, when positive, follows each execution's space
+	// construction with a deterministic mining pass served by this many
+	// synthetic hash-answer members (see fleetMember), so the run spends
+	// crowd questions the journal can attribute per query. 0 stops at
+	// space construction, the pre-crowd path.
+	MineMembers int
 	// Obs, when set, lands compile/eval metrics on the sparql family.
+	// With a journal enabled (Observer.EnableJournal), every execution
+	// additionally records a query_exec event and the report carries
+	// per-query cost attribution joined from the journal (PerQuery).
 	Obs *obs.Observer
 }
 
@@ -245,6 +257,28 @@ type FleetReport struct {
 	RowsStreamed    int64   `json:"rows_streamed"`
 	ValidNodes      int64   `json:"valid_nodes"`
 	SemanticQueries int     `json:"semantic_queries"`
+	// Questions is the total crowd question spend of the mining passes
+	// (0 unless FleetConfig.MineMembers is set).
+	Questions int64 `json:"questions,omitempty"`
+	// PerQuery attributes cost to each distinct query, joined from the
+	// journal's query_exec and run_end events. Present only when the
+	// fleet ran with a journal-carrying Observer.
+	PerQuery []QueryCost `json:"per_query,omitempty"`
+}
+
+// QueryCost is one distinct query's share of the fleet's cost: how often
+// it ran, the wall time its executions took, how many compiles its plan
+// cache served, the rows it streamed, and — when the fleet mined — the
+// crowd questions its runs spent. Built by joining the journal's
+// query_exec events (one per execution, keyed "q<index>") with the
+// run_end event of each execution's mining run.
+type QueryCost struct {
+	Query     string  `json:"query"`
+	Execs     int     `json:"execs"`
+	WallSecs  float64 `json:"wall_secs"`
+	CacheHits int     `json:"cache_hits"`
+	Rows      int64   `json:"rows"`
+	Questions int64   `json:"questions"`
 }
 
 // RunFleet executes the workload against a frozen store: each execution
@@ -292,8 +326,9 @@ func RunFleet(store *ontology.Store, fleet []FleetQuery, cfg FleetConfig) (*Flee
 	}
 	cache := sparql.SharedPlanCache(store)
 	h0, m0, _ := cache.Stats()
+	jr := cfg.Obs.JournalSet()
 
-	var cursor, rows, nodes atomic.Int64
+	var cursor, rows, nodes, questions atomic.Int64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -307,6 +342,7 @@ func RunFleet(store *ontology.Store, fleet []FleetQuery, cfg FleetConfig) (*Flee
 					return
 				}
 				p := prep[schedule[i]]
+				execStart := time.Now()
 				ev := sparql.NewEvaluator(store)
 				ev.Semantic = p.semantic
 				ev.Metrics = cfg.Obs.PlanSet()
@@ -323,6 +359,32 @@ func RunFleet(store *ontology.Store, fleet []FleetQuery, cfg FleetConfig) (*Flee
 				}
 				rows.Add(int64(streamed))
 				nodes.Add(int64(len(space.Valid())))
+				var runID int64
+				if cfg.MineMembers > 0 {
+					// The mining pass is a pure function of (query index,
+					// seed): hash-answer members plus a fixed engine seed,
+					// so repeated executions of one query replay the same
+					// run and attribution stays deterministic.
+					members := make([]crowd.Member, cfg.MineMembers)
+					for j := range members {
+						members[j] = &fleetMember{
+							id:   fmt.Sprintf("synth-%d", j),
+							bias: uint64(cfg.Seed)<<16 ^ uint64(j+1),
+						}
+					}
+					theta := p.q.Satisfying.Support
+					eng := core.NewEngine(space, members, core.EngineConfig{
+						Theta:      theta,
+						Aggregator: crowd.NewMeanAggregator(1, theta),
+						Seed:       cfg.Seed + int64(schedule[i]),
+						Obs:        cfg.Obs,
+					})
+					res := eng.Run()
+					runID = res.JournalRun
+					questions.Add(int64(res.Stats.Questions))
+				}
+				jr.QueryExec(runID, fmt.Sprintf("q%04d", schedule[i]),
+					time.Since(execStart).Nanoseconds(), ev.LastCompileCacheHit, int64(streamed))
 			}
 		}()
 	}
@@ -350,5 +412,98 @@ func RunFleet(store *ontology.Store, fleet []FleetQuery, cfg FleetConfig) (*Flee
 	if hits+misses > 0 {
 		rep.CacheHitRate = float64(hits) / float64(hits+misses)
 	}
+	rep.Questions = questions.Load()
+	if jr != nil {
+		rep.PerQuery = fleetAttribution(jr.Events())
+	}
 	return rep, nil
 }
+
+// fleetAttribution joins the journal's query_exec events with each mining
+// run's run_end question count into per-query cost rows, sorted by query
+// key. Events evicted by ring wraparound drop out of the attribution —
+// size the journal (or attach a JSONL sink and aggregate offline) when a
+// fleet outgrows the default ring.
+func fleetAttribution(events []obs.Event) []QueryCost {
+	runQ := make(map[int64]int64)
+	for i := range events {
+		if events[i].Kind == obs.EvRunEnd {
+			runQ[events[i].Run] = events[i].Questions
+		}
+	}
+	acc := make(map[string]*QueryCost)
+	keys := make([]string, 0, 16)
+	for i := range events {
+		e := &events[i]
+		if e.Kind != obs.EvQueryExec {
+			continue
+		}
+		c := acc[e.Key]
+		if c == nil {
+			c = &QueryCost{Query: e.Key}
+			acc[e.Key] = c
+			keys = append(keys, e.Key)
+		}
+		c.Execs++
+		c.WallSecs += float64(e.Elapsed) / 1e9
+		if e.Hit {
+			c.CacheHits++
+		}
+		c.Rows += e.Rows
+		c.Questions += runQ[e.Run]
+	}
+	sort.Strings(keys)
+	out := make([]QueryCost, len(keys))
+	for i, k := range keys {
+		out[i] = *acc[k]
+	}
+	return out
+}
+
+// fleetMember is the deterministic synthetic member behind
+// FleetConfig.MineMembers. Its support for a fact-set hashes the member
+// identity and the fact term IDs into [0, 1] — a pure function of
+// (member, question), so fleet mining replays bit-identically with no
+// planted ground truth to maintain, while different members disagree
+// enough to exercise the aggregator.
+type fleetMember struct {
+	id   string
+	bias uint64
+}
+
+func (m *fleetMember) ID() string { return m.id }
+
+func (m *fleetMember) supportOf(fs ontology.FactSet) float64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037) ^ m.bias
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	for _, f := range fs {
+		mix(uint64(uint32(f.S)))
+		mix(uint64(uint32(f.P)))
+		mix(uint64(uint32(f.O)))
+	}
+	return float64(h%1001) / 1000
+}
+
+// AskConcrete implements crowd.Member.
+func (m *fleetMember) AskConcrete(fs ontology.FactSet) crowd.Response {
+	return crowd.Response{Support: m.supportOf(fs)}
+}
+
+// AskSpecialize implements crowd.Member: pick the first candidate the
+// member itself would rate at least 0.5, none-of-these otherwise.
+func (m *fleetMember) AskSpecialize(_ ontology.FactSet, candidates []ontology.FactSet) (int, crowd.Response) {
+	for i, c := range candidates {
+		if s := m.supportOf(c); s >= 0.5 {
+			return i, crowd.Response{Support: s}
+		}
+	}
+	return -1, crowd.Response{}
+}
+
+var _ crowd.Member = (*fleetMember)(nil)

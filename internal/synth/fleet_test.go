@@ -151,3 +151,59 @@ func BenchmarkFleet(b *testing.B) {
 		}
 	}
 }
+
+// TestRunFleetAttribution runs a small mining fleet with a journal wired in
+// and checks the per-query cost attribution joins up: one row per distinct
+// query, execution counts summing to the schedule, crowd questions
+// attributed to the runs that asked them.
+func TestRunFleetAttribution(t *testing.T) {
+	store := loadSmokeStore(t)
+	o := obs.New()
+	o.EnableJournal(0)
+	cfg := FleetConfig{Queries: 12, Executions: 48, Workers: 4, MineMembers: 3, Seed: 5, Obs: o}
+	fleet := SampleFleet(SmokeScale(), cfg)
+	rep, err := RunFleet(store, fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Questions == 0 {
+		t.Fatal("mining fleet asked no crowd questions")
+	}
+	if len(rep.PerQuery) != rep.DistinctQueries {
+		t.Fatalf("attribution covers %d queries, fleet had %d", len(rep.PerQuery), rep.DistinctQueries)
+	}
+	var execs int
+	var questions int64
+	for i, c := range rep.PerQuery {
+		if i > 0 && rep.PerQuery[i-1].Query >= c.Query {
+			t.Fatalf("attribution rows out of order: %q then %q", rep.PerQuery[i-1].Query, c.Query)
+		}
+		if c.Execs <= 0 {
+			t.Fatalf("%s attributed %d executions", c.Query, c.Execs)
+		}
+		if c.WallSecs < 0 {
+			t.Fatalf("%s has negative wall time", c.Query)
+		}
+		execs += c.Execs
+		questions += c.Questions
+	}
+	if execs != rep.Executions {
+		t.Fatalf("attribution sums to %d executions, fleet ran %d", execs, rep.Executions)
+	}
+	if questions != rep.Questions {
+		t.Fatalf("attribution sums to %d questions, fleet asked %d", questions, rep.Questions)
+	}
+
+	// Without a journal the fleet still mines but reports no attribution.
+	plain := FleetConfig{Queries: 12, Executions: 24, Workers: 2, MineMembers: 2, Seed: 5}
+	rep2, err := RunFleet(store, SampleFleet(SmokeScale(), plain), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Questions == 0 {
+		t.Fatal("journal-less mining fleet asked no questions")
+	}
+	if len(rep2.PerQuery) != 0 {
+		t.Fatalf("journal-less fleet reported %d attribution rows", len(rep2.PerQuery))
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"oassis/internal/chaos"
 	"oassis/internal/core"
 	"oassis/internal/crowd"
+	"oassis/internal/journal"
 	"oassis/internal/nlgen"
 	"oassis/internal/oassisql"
 	"oassis/internal/obs"
@@ -116,6 +117,22 @@ type (
 	// TraceSummary is the per-(phase, name) span aggregate attached to
 	// an observed run's Result.
 	TraceSummary = obs.TraceSummary
+	// Journal is the crowd-run flight recorder: an append-only,
+	// sequence-numbered event stream (run start, every ask / reply /
+	// timeout / departure with its raw payload, MSP confirmations, round
+	// barriers) kept in a fixed ring with an optional JSONL sink. Attach
+	// one with WithJournal; replay a recorded stream with Session.Replay.
+	Journal = obs.Journal
+	// JournalEvent is one recorded flight-recorder event.
+	JournalEvent = obs.Event
+	// CurvePoint is one round bucket of a run's answer-arrival curve
+	// (Result.Curve): new MSPs and new distinct answers per question
+	// spent.
+	CurvePoint = obs.CurvePoint
+	// MemberScorecard is one crowd member's quality/latency profile:
+	// latency quantiles, timeout/strike/departure counts and the
+	// agreement-vs-aggregate score (see WithScorecards).
+	MemberScorecard = obs.MemberScorecard
 	// SpaceStats snapshots the assignment space's size and its interner /
 	// edge-cache hit counters (see Session.SpaceStats).
 	SpaceStats = assign.SpaceStats
@@ -359,6 +376,65 @@ func WithTranscript() Option { return func(s *Session) { s.transcript = true } }
 // trace ring and every subsystem metric family registered.
 func NewObserver() *Observer { return obs.New() }
 
+// NewJournal returns a flight-recorder journal with the given event-ring
+// capacity (the default of 65536 when capacity <= 0). Attach a JSONL sink
+// with (*Journal).SetSink to keep runs longer than the ring replayable.
+func NewJournal(capacity int) *Journal { return obs.NewJournal(capacity) }
+
+// ReadJournal decodes a JSONL journal stream previously written by the
+// journal's sink or (*Journal).WriteJSONL — the input to Session.Replay.
+func ReadJournal(r io.Reader) ([]JournalEvent, error) { return obs.ReadJournalJSONL(r) }
+
+// WithJournal attaches a flight recorder to the session's runs: every ask,
+// reply, timeout, departure, MSP confirmation and round barrier is recorded
+// with its raw payload, and Result.Curve carries the run's answer-arrival
+// curve. The option implies an Observer (a fresh one is created when none
+// was configured), so it composes with or without WithObserver. The journal
+// may be shared across sessions; run IDs keep their streams apart.
+func WithJournal(j *Journal) Option { return func(s *Session) { s.journal = j } }
+
+// WithScorecards maintains per-member quality/latency profiles across the
+// session's runs — latency histograms with quantiles, timeout/strike/
+// departure/ban counts, agreement-vs-aggregate scores — exported as
+// oassis_member_* metric families and readable via Scorecards(). Implies an
+// Observer, like WithJournal.
+func WithScorecards() Option { return func(s *Session) { s.scorecards = true } }
+
+// Scorecards snapshots the per-member profiles collected so far (nil unless
+// the session was built WithScorecards, or with an Observer whose
+// scoreboard was enabled).
+func (s *Session) Scorecards() []MemberScorecard { return s.obsv.BoardSet().Snapshot() }
+
+// Replay re-folds a recorded journal stream through a fresh kernel over
+// this session's assignment space and configuration, reconstructing the
+// run without consulting any crowd. The session must be configured exactly
+// as the recorded run's was (same query, seed, aggregator settings,
+// deadlines, transcript flag); the stream must contain one complete run —
+// from its run_start event — as written by the JSONL sink (use
+// journal.FilterRun semantics upstream when a sink interleaves several
+// runs: Replay takes the first run_start it is given). Use
+// VerifyReplayIdentity to assert the reconstruction matches the live
+// result.
+func (s *Session) Replay(events []JournalEvent) (*Result, error) {
+	ids, err := journal.Members(events)
+	if err != nil {
+		return nil, err
+	}
+	res, err := journal.Replay(events, s.space, s.engineConfig(len(ids)))
+	if res != nil {
+		s.applyLimit(res)
+	}
+	return res, err
+}
+
+// VerifyReplayIdentity asserts a replayed result reconstructs the live run
+// byte-identically on kernel state: Stats, MSP and valid-MSP key sets, the
+// significant set, supports and per-member transcripts (Trace and Curve
+// are observability, not state, and are not compared).
+func VerifyReplayIdentity(live, replayed *Result) error {
+	return journal.VerifyIdentity(live, replayed)
+}
+
 // WithObserver attaches an observer to the session: WHERE compilation and
 // evaluation are timed and counted, the space's interner and edge-cache hit
 // rates are exported as gauges, every engine run feeds kernel and broker
@@ -419,6 +495,8 @@ type Session struct {
 	maxTimeouts    int
 	transcript     bool
 	obsv           *Observer
+	journal        *Journal
+	scorecards     bool
 	platform       *Platform
 
 	renderer *nlgen.Renderer
@@ -434,6 +512,19 @@ func NewSession(store *Ontology, q *Query, opts ...Option) (*Session, error) {
 	s := &Session{store: store, query: q, specRatio: 0.12}
 	for _, opt := range opts {
 		opt(s)
+	}
+	// The journal and scorecard options imply an Observer, so the flags
+	// compose without silent no-ops when WithObserver was not given.
+	if s.journal != nil || s.scorecards {
+		if s.obsv == nil {
+			s.obsv = NewObserver()
+		}
+		if s.journal != nil {
+			s.obsv.Journal = s.journal
+		}
+		if s.scorecards {
+			s.obsv.EnableScorecards()
+		}
 	}
 	ev := sparql.NewEvaluator(store)
 	ev.Semantic = s.semantic
